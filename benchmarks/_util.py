@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Show a result table live (bypassing capture) and persist it."""
+    banner = f"\n{'=' * 72}\n  {name}\n{'=' * 72}\n{text}\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(banner)
+    else:
+        print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    safe = name.lower().replace(" ", "_").replace("/", "-")
+    with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w") as fh:
+        fh.write(banner)

@@ -1,0 +1,114 @@
+"""Ablations of DESIGN.md §5 implementation choices.
+
+Not part of the paper's evaluation — these justify two engineering
+decisions of this reproduction with measurements:
+
+1. **Hyperrelation construction via sparse incidence products** (our
+   Algorithm 1) vs. a naive O(F^2) pairwise scan: identical edge sets,
+   with the sparse version scaling near-linearly in facts.
+2. **Message passing as gather/scatter-add over edge lists** vs. dense
+   per-type adjacency matmuls: identical aggregation results, with the
+   edge-list version independent of N^2.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.datasets import load_dataset
+from repro.graph import NUM_HYPERRELATIONS, build_hyperrelation_graph
+
+from _util import emit
+
+
+def naive_hyperrelation_edges(snapshot):
+    """Reference O(F^2) implementation of Algorithm 1."""
+    triples = snapshot.triples
+    pairs = set()
+    for s1, r1, o1 in triples:
+        for s2, r2, o2 in triples:
+            if o1 == s2:
+                pairs.add((int(r1), 0, int(r2)))  # o-s
+            if s1 == o2:
+                pairs.add((int(r1), 1, int(r2)))  # s-o
+            if o1 == o2 and r1 != r2:
+                pairs.add((int(r1), 2, int(r2)))  # o-o
+            if s1 == s2 and r1 != r2:
+                pairs.add((int(r1), 3, int(r2)))  # s-s
+    edges = set(pairs)
+    edges |= {(dst, htype + NUM_HYPERRELATIONS, src) for src, htype, dst in pairs}
+    return edges
+
+
+def dense_rgcn_aggregate(nodes, edge_embeddings, edges, norms, num_nodes, weight_bank, self_weight):
+    """Reference dense-adjacency aggregation for one R-GCN layer."""
+    out = nodes @ self_weight
+    dim = nodes.shape[1]
+    per_type = defaultdict(list)
+    for (src, etype, dst), norm in zip(edges, norms):
+        per_type[int(etype)].append((int(src), int(dst), float(norm)))
+    for etype, triple_list in per_type.items():
+        adjacency = np.zeros((num_nodes, num_nodes))
+        for src, dst, norm in triple_list:
+            adjacency[dst, src] += norm
+        messages = (nodes + edge_embeddings[etype]) @ weight_bank[etype]
+        out = out + adjacency @ messages
+    return out
+
+
+def test_hypergraph_sparse_equals_naive(benchmark, capsys):
+    dataset = load_dataset("ICEWS14")
+    snapshot = dataset.graph.snapshot(10)
+
+    hyper = benchmark.pedantic(
+        build_hyperrelation_graph, args=(snapshot,), rounds=3, iterations=1
+    )
+    sparse_edges = {tuple(map(int, e)) for e in hyper.edges}
+    naive_edges = naive_hyperrelation_edges(snapshot)
+    assert sparse_edges == naive_edges
+    emit(
+        "Design ablation: hypergraph construction",
+        f"snapshot facts={len(snapshot)}  hyperedges={len(sparse_edges)}\n"
+        "sparse incidence products == naive O(F^2) scan (edge sets identical)",
+        capsys,
+    )
+
+
+def test_scatter_add_equals_dense_adjacency(benchmark, capsys):
+    rng = np.random.default_rng(0)
+    dataset = load_dataset("YAGO")
+    snapshot = dataset.graph.snapshot(5)
+    edges = snapshot.edges_with_inverse
+    norms = snapshot.edge_norm
+    num_nodes = dataset.num_entities
+    dim = 16
+    num_types = 2 * dataset.num_relations
+    nodes = rng.normal(size=(num_nodes, dim))
+    edge_embeddings = rng.normal(size=(num_types, dim))
+    weight_bank = rng.normal(size=(num_types, dim, dim))
+    self_weight = rng.normal(size=(dim, dim))
+
+    def edge_list_aggregate():
+        out = Tensor(nodes) @ Tensor(self_weight)
+        for etype in np.unique(edges[:, 1]):
+            mask = edges[:, 1] == etype
+            messages = Tensor(nodes[edges[mask, 0]] + edge_embeddings[etype])
+            transformed = messages @ Tensor(weight_bank[etype])
+            out = out + F.scatter_add(
+                transformed * Tensor(norms[mask][:, None]), edges[mask, 2], num_nodes
+            )
+        return out.data
+
+    ours = benchmark.pedantic(edge_list_aggregate, rounds=3, iterations=1)
+    reference = dense_rgcn_aggregate(
+        nodes, edge_embeddings, edges, norms, num_nodes, weight_bank, self_weight
+    )
+    np.testing.assert_allclose(ours, reference, atol=1e-8)
+    emit(
+        "Design ablation: message passing",
+        f"edges={len(edges)}  nodes={num_nodes}\n"
+        "gather/scatter-add == dense per-type adjacency matmul (allclose)",
+        capsys,
+    )

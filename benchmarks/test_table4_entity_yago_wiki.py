@@ -1,0 +1,52 @@
+"""Table IV: entity forecasting on YAGO and WIKI (raw MRR/H@3/H@10).
+
+Paper reference: every method scores far higher than on ICEWS (facts
+persist at year granularity), and RETIA leads (67.58 YAGO / 70.11 WIKI
+MRR).  The history-repetition methods (xERTE/TITer in the paper; the
+copy-vocabulary family here) are unusually strong on these datasets.
+
+Shape targets: absolute MRRs well above the ICEWS numbers; RETIA at or
+near the top of the trained neural methods.
+"""
+
+import pytest
+
+from repro.bench import DEFAULT_METHODS, format_table, get_trained
+
+from _util import emit
+
+DATASETS = ["YAGO", "WIKI"]
+NEURAL_EVOLUTION = {"RE-NET", "RE-GCN", "CEN", "TiRGN", "RETIA"}
+
+
+def run_dataset(dataset_name):
+    rows = []
+    for method in DEFAULT_METHODS:
+        trained = get_trained(method, dataset_name)
+        result, _ = trained.evaluate()
+        rows.append({"Method": method, **result.row(("MRR", "Hits@3", "Hits@10"))})
+    return rows
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_table4_entity_forecasting(benchmark, capsys, dataset_name):
+    rows = benchmark.pedantic(run_dataset, args=(dataset_name,), rounds=1, iterations=1)
+    metrics = ["MRR", "Hits@3", "Hits@10"]
+    emit(
+        f"Table IV: entity forecasting, {dataset_name} (raw)",
+        format_table(rows, ["Method"] + metrics, highlight_best=metrics),
+        capsys,
+    )
+
+    by = {r["Method"]: r["MRR"] for r in rows}
+    # Shape 1: high-recurrence data -> well above the random-chance MRR
+    # (~3.5% at ~170 entities).
+    assert by["RETIA"] > 20.0
+    # Shape 2: RETIA leads (or ties within noise) the R-GCN-encoder
+    # family; the copy-vocabulary family may exceed it here, exactly as
+    # TITer/xERTE beat RE-GCN on the paper's YAGO/WIKI (Table IV).
+    encoders = {"RE-GCN", "CEN"}
+    assert by["RETIA"] >= max(by[m] for m in encoders) - 4.0, by
+    # Shape 3: static methods trail the evolution family badly here —
+    # persistent facts conflict across years once time is removed.
+    assert by["RETIA"] > by["DistMult"] + 10.0

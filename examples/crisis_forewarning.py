@@ -1,0 +1,78 @@
+"""Crisis forewarning: watch an event stream and raise alerts.
+
+Run:  python examples/crisis_forewarning.py        (~1-2 minutes on CPU)
+
+The paper motivates TKG extrapolation with crisis forewarning: given a
+stream of (actor, action, target, day) events, forecast tomorrow's
+high-risk interactions.  This example designates some relations as
+"crisis" actions, trains RETIA on an ICEWS18-style stream, and then
+walks the test days one at a time — exactly how a deployed monitor would
+run — flagging the top-scoring crisis forecasts before each day's events
+arrive, then feeding the revealed events back in (online continuous
+training).
+"""
+
+import numpy as np
+
+from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("ICEWS18")
+    # Treat the first quarter of the relation vocabulary as crisis actions
+    # (in real ICEWS these would be CAMEO codes like "Threaten", "Assault").
+    crisis_relations = list(range(dataset.num_relations // 4))
+    print(f"monitoring {len(crisis_relations)} crisis relations out of "
+          f"{dataset.num_relations}")
+
+    model = RETIA(
+        RETIAConfig(
+            num_entities=dataset.num_entities,
+            num_relations=dataset.num_relations,
+            dim=24,
+            history_length=3,
+            num_kernels=12,
+            seed=7,
+        )
+    )
+    trainer = Trainer(model, TrainerConfig(epochs=4, patience=4))
+    trainer.fit(dataset.train)
+    for t in dataset.valid.timestamps:
+        model.observe(dataset.valid.snapshot(int(t)))
+
+    adapter = trainer.online_adapter()
+    hits = misses = 0
+    for day in dataset.test.timestamps[:5]:
+        day = int(day)
+        snapshot = dataset.test.snapshot(day)
+        # Score every (active entity, crisis relation) pair for tomorrow.
+        actors = np.unique(np.concatenate([h.triples[:, 0] for h in model.history_before(day)]))
+        queries = np.array([(a, r) for a in actors for r in crisis_relations])
+        scores = adapter.predict_entities(queries, day)
+        flat = np.argsort(-scores, axis=None)[:5]
+        alerts = []
+        for idx in flat:
+            q, obj = divmod(int(idx), dataset.num_entities)
+            actor, rel = queries[q]
+            alerts.append((int(actor), int(rel), obj))
+
+        true_events = {
+            (int(s), int(r), int(o))
+            for s, r, o in snapshot.triples
+            if int(r) in crisis_relations
+        }
+        confirmed = [a for a in alerts if a in true_events]
+        hits += len(confirmed)
+        misses += len(alerts) - len(confirmed)
+        print(f"day {day}: raised {len(alerts)} alerts, "
+              f"{len(confirmed)} confirmed by the day's events; "
+              f"{len(true_events)} crisis events occurred")
+        adapter.observe(snapshot)  # online continuous training
+
+    precision = hits / max(1, hits + misses)
+    print(f"alert precision over the monitored window: {precision:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Bring your own TKG: build a TemporalKG from raw event records.
+
+Run:  python examples/custom_dataset.py        (~30 seconds on CPU)
+
+Shows the data-ingestion path a downstream user follows: string-labelled
+event records -> integer vocabularies -> :class:`repro.graph.TemporalKG`
+-> chronological split -> RETIA.  Also demonstrates the hyperrelation
+subgraph (Algorithm 1) on the ingested data.
+"""
+
+import numpy as np
+
+from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
+from repro.eval import evaluate_extrapolation
+from repro.graph import HYPERRELATION_NAMES, TemporalKG, build_hyperrelation_graph
+
+# Raw event log: (subject, relation, object, day). A tiny supply-chain
+# narrative with recurring weekly orders and shipment chains.
+RAW_EVENTS = []
+PARTIES = ["acme", "globex", "initech", "umbrella", "hooli", "vehement"]
+for week in range(12):
+    day = week * 2
+    RAW_EVENTS += [
+        # Same-day fulfilment: the object of orders_from is the subject
+        # of ships_to within one snapshot -> an o-s hyperedge (Alg. 1).
+        ("acme", "orders_from", "globex", day),
+        ("globex", "ships_to", "acme", day),
+        # Next-day fulfilment: a cross-timestamp chain.
+        ("initech", "orders_from", "umbrella", day),
+        ("umbrella", "ships_to", "initech", day + 1),
+        ("hooli", "audits", "vehement", day),
+    ]
+    if week % 3 == 0:
+        RAW_EVENTS.append(("vehement", "disputes", "hooli", day + 1))
+
+
+def main() -> None:
+    # 1) Build integer vocabularies.
+    entities = sorted({e for s, _, o, _ in RAW_EVENTS for e in (s, o)})
+    relations = sorted({r for _, r, _, _ in RAW_EVENTS})
+    ent_id = {name: i for i, name in enumerate(entities)}
+    rel_id = {name: i for i, name in enumerate(relations)}
+    quadruples = [
+        (ent_id[s], rel_id[r], ent_id[o], t) for s, r, o, t in RAW_EVENTS
+    ]
+
+    # 2) Wrap as a TemporalKG and split chronologically.
+    graph = TemporalKG(
+        quadruples, num_entities=len(entities), num_relations=len(relations),
+        granularity="1 day",
+    )
+    train, valid, test = graph.split((0.7, 0.15, 0.15))
+    print(f"ingested {len(graph)} facts over {graph.num_timestamps} days; "
+          f"split {len(train)}/{len(valid)}/{len(test)}")
+
+    # 3) Inspect the twin hyperrelation subgraph of one busy day —
+    #    the same-day order->shipment chain shows up as an o-s hyperedge.
+    snapshot = graph.snapshot(0)
+    hyper = build_hyperrelation_graph(snapshot)
+    print(f"day {snapshot.time}: {len(snapshot)} facts -> {len(hyper)} hyperedges")
+    def rel_name(rid: int) -> str:
+        m = len(relations)
+        return relations[rid] if rid < m else relations[rid - m] + "^-1"
+
+    for r_src, htype, r_dst in hyper.edges[:4]:
+        name = HYPERRELATION_NAMES[htype % len(HYPERRELATION_NAMES)]
+        inverse = " (inverse)" if htype >= len(HYPERRELATION_NAMES) else ""
+        print(f"  {rel_name(r_src)} --{name}{inverse}--> {rel_name(r_dst)}")
+
+    # 4) Train and forecast.
+    model = RETIA(
+        RETIAConfig(
+            num_entities=len(entities),
+            num_relations=len(relations),
+            dim=16,
+            history_length=2,
+            num_kernels=8,
+            seed=0,
+        )
+    )
+    trainer = Trainer(model, TrainerConfig(epochs=15, patience=15))
+    trainer.fit(train)
+    for t in valid.timestamps:
+        model.observe(valid.snapshot(int(t)))
+    result = evaluate_extrapolation(model, test)
+    print("entity MRR:", round(result.entity["MRR"], 1),
+          "relation MRR:", round(result.relation["MRR"], 1))
+
+    # 5) Ask a business question: who will globex ship to next?
+    t_next = int(test.timestamps[-1]) + 1
+    query = np.array([[ent_id["globex"], rel_id["ships_to"]]])
+    scores = model.predict_entities(query, t_next)
+    best = entities[int(np.argmax(scores[0]))]
+    print(f"forecast: globex ships_to -> {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Relation discovery: forecast *how* two entities will interact.
+
+Run:  python examples/relation_discovery.py        (~1 minute on CPU)
+
+Entity forecasting answers "who will s act on?"; relation forecasting
+(s, ?, o, t+1) answers "what will s do to o?" — the task the paper's
+RAM exists for (Table VII).  This example trains RETIA on a YAGO-style
+graph, compares its relation forecasts against the RE-GCN baseline (the
+"message islands" level of relation modeling), and shows the calibrated
+top predictions for a few held-out pairs.
+"""
+
+import numpy as np
+
+from repro.baselines import REGCN
+from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
+from repro.datasets import load_dataset
+from repro.eval import evaluate_extrapolation
+
+
+def train_and_eval(model, dataset, epochs=5):
+    trainer = Trainer(model, TrainerConfig(epochs=epochs, patience=epochs))
+    trainer.fit(dataset.train)
+    for t in dataset.valid.timestamps:
+        model.observe(dataset.valid.snapshot(int(t)))
+    return evaluate_extrapolation(model, dataset.test)
+
+
+def main() -> None:
+    dataset = load_dataset("YAGO")
+
+    retia = RETIA(
+        RETIAConfig(
+            num_entities=dataset.num_entities,
+            num_relations=dataset.num_relations,
+            dim=24,
+            history_length=3,
+            num_kernels=12,
+            seed=1,
+        )
+    )
+    regcn = REGCN(
+        dataset.num_entities,
+        dataset.num_relations,
+        dim=24,
+        history_length=3,
+        num_kernels=12,
+        seed=1,
+    )
+
+    retia_result = train_and_eval(retia, dataset)
+    regcn_result = train_and_eval(regcn, dataset)
+    print("relation forecasting MRR —",
+          f"RETIA: {retia_result.relation['MRR']:.2f}  "
+          f"RE-GCN: {regcn_result.relation['MRR']:.2f}")
+    print("entity   forecasting MRR —",
+          f"RETIA: {retia_result.entity['MRR']:.2f}  "
+          f"RE-GCN: {regcn_result.entity['MRR']:.2f}")
+
+    # Inspect a few held-out (s, ?, o) queries.
+    test_time = int(dataset.test.timestamps[0])
+    snapshot = dataset.test.snapshot(test_time)
+    pairs = snapshot.triples[:5, [0, 2]]
+    truth = snapshot.triples[:5, 1]
+    scores = retia.predict_relations(pairs, test_time)
+    print("\nsample (s, ?, o) forecasts at t =", test_time)
+    for i, ((s, o), r_true) in enumerate(zip(pairs, truth)):
+        ranked = np.argsort(-scores[i])
+        rank = int(np.where(ranked == r_true)[0][0]) + 1
+        print(f"  ({s:3d}, ?, {o:3d})  top-2 relations {ranked[:2].tolist()}  "
+              f"true relation {r_true} (rank {rank})")
+
+
+if __name__ == "__main__":
+    main()

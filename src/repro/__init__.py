@@ -1,0 +1,40 @@
+"""RETIA reproduction: temporal knowledge graph extrapolation.
+
+Public API tour:
+
+* :mod:`repro.graph` — TKG storage and the hyperrelation subgraphs.
+* :mod:`repro.datasets` — seeded synthetic benchmark surrogates.
+* :mod:`repro.core` — the RETIA model and its trainer.
+* :mod:`repro.baselines` — the paper's comparison methods.
+* :mod:`repro.eval` — link-prediction protocol and metrics.
+* :mod:`repro.autograd` / :mod:`repro.nn` — the numpy learning substrate.
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
+    from repro.eval import evaluate_extrapolation
+
+    ds = load_dataset("ICEWS14")
+    model = RETIA(RETIAConfig(ds.num_entities, ds.num_relations))
+    Trainer(model, TrainerConfig(epochs=8)).fit(ds.train, ds.valid)
+    print(evaluate_extrapolation(model, ds.test).entity)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
+from repro.datasets import load_dataset
+from repro.eval import evaluate_extrapolation
+from repro.graph import TemporalKG
+
+__all__ = [
+    "RETIA",
+    "RETIAConfig",
+    "Trainer",
+    "TrainerConfig",
+    "load_dataset",
+    "evaluate_extrapolation",
+    "TemporalKG",
+    "__version__",
+]

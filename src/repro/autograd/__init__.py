@@ -1,0 +1,26 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the substrate that replaces PyTorch in the RETIA
+reproduction.  It provides a :class:`Tensor` type that records a dynamic
+computation graph and backpropagates gradients through it, plus the
+functional operations (:mod:`repro.autograd.functional`) the model needs:
+matrix products, activations, reductions, indexing/gather, scatter-add for
+graph message passing, softmax, 2D convolution, dropout and layer
+normalisation.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.autograd import Tensor
+>>> x = Tensor(np.ones((2, 3)), requires_grad=True)
+>>> y = (x * 3.0).sum()
+>>> y.backward()
+>>> x.grad
+array([[3., 3., 3.],
+       [3., 3., 3.]])
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,218 @@
+"""Composite differentiable operations built on :class:`~repro.autograd.Tensor`.
+
+These are the graph-level primitives the RETIA model needs beyond tensor
+methods: concatenation, stacking, softmax families, segment scatter/gather
+used by the R-GCN message passing, dropout, 2D convolution (im2col) for the
+Conv-TransE decoder, and layer normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._from_op(out_data, tensors, backward, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.take(grad, i, axis=axis))
+
+    return Tensor._from_op(out_data, tensors, backward, "stack")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad = np.asarray(grad)
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner))
+
+    return Tensor._from_op(out_data, (x,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad = np.asarray(grad)
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out_data, (x,), backward, "log_softmax")
+
+
+def scatter_add(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``src`` into ``num_segments`` buckets given by ``index``.
+
+    This is the core of graph message passing: per-edge messages ``src``
+    of shape ``(E, d)`` are accumulated into per-node outputs of shape
+    ``(num_segments, d)``.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1 or len(index) != src.data.shape[0]:
+        raise ValueError("index must be 1-D with one entry per src row")
+    out_data = np.zeros((num_segments,) + src.data.shape[1:])
+    np.add.at(out_data, index, src.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if src.requires_grad:
+            src._accumulate(np.asarray(grad)[index])
+
+    return Tensor._from_op(out_data, (src,), backward, "scatter_add")
+
+
+def segment_mean(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-pool rows of ``src`` per segment; empty segments stay zero."""
+    index = np.asarray(index, dtype=np.int64)
+    counts = np.bincount(index, minlength=num_segments).astype(np.float64)
+    safe = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (src.data.ndim - 1))
+    summed = scatter_add(src, index, num_segments)
+    return summed * Tensor(1.0 / safe)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def rrelu(
+    x: Tensor,
+    lower: float = 1.0 / 8.0,
+    upper: float = 1.0 / 3.0,
+    training: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Randomized leaky ReLU (the paper's activation).
+
+    In training the negative slope is sampled per element from
+    ``U(lower, upper)``; in evaluation the mean slope is used, matching
+    the PyTorch semantics.
+    """
+    if training:
+        rng = rng or np.random.default_rng()
+        neg_slope = rng.uniform(lower, upper, size=x.data.shape)
+    else:
+        neg_slope = (lower + upper) / 2.0
+    slope = np.where(x.data > 0, 1.0, neg_slope)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad) * slope)
+
+    return Tensor._from_op(x.data * slope, (x,), backward, "rrelu")
+
+
+def layer_norm(x: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis (no affine parameters)."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered * ((var + eps) ** -0.5)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, ph: int, pw: int) -> np.ndarray:
+    """Unfold ``(B, C, H, W)`` into ``(B, C*kh*kw, out_h*out_w)`` columns."""
+    batch, channels, height, width = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = height + 2 * ph - kh + 1
+    out_w = width + 2 * pw - kw + 1
+    strides = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, channels, kh, kw, out_h, out_w),
+        strides=(strides[0], strides[1], strides[2], strides[3], strides[2], strides[3]),
+        writeable=False,
+    )
+    return windows.reshape(batch, channels * kh * kw, out_h * out_w), out_h, out_w
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, padding=(0, 0)) -> Tensor:
+    """2D convolution with stride 1 (what Conv-TransE/ConvE need).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, C_in, H, W)``.
+    weight:
+        Kernels of shape ``(C_out, C_in, kH, kW)``.
+    bias:
+        Optional per-output-channel bias ``(C_out,)``.
+    padding:
+        Symmetric zero padding ``(pH, pW)``.
+    """
+    ph, pw = padding
+    c_out, c_in, kh, kw = weight.data.shape
+    batch = x.data.shape[0]
+    cols, out_h, out_w = _im2col(x.data, kh, kw, ph, pw)
+    w_flat = weight.data.reshape(c_out, -1)
+    out_data = np.einsum("ok,bkl->bol", w_flat, cols).reshape(batch, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad).reshape(batch, c_out, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.einsum("bol,bkl->ok", grad, cols).reshape(weight.data.shape)
+            weight._accumulate(grad_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,bol->bkl", w_flat, grad)
+            grad_x = _col2im(grad_cols, x.data.shape, kh, kw, ph, pw, out_h, out_w)
+            x._accumulate(grad_x)
+
+    parents = (x, weight, bias) if bias is not None else (x, weight)
+    return Tensor._from_op(out_data, parents, backward, "conv2d")
+
+
+def _col2im(cols, x_shape, kh, kw, ph, pw, out_h, out_w) -> np.ndarray:
+    """Fold ``(B, C*kh*kw, L)`` columns back into the input gradient."""
+    batch, channels, height, width = x_shape
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw))
+    cols = cols.reshape(batch, channels, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + out_h, j : j + out_w] += cols[:, :, i, j]
+    return padded[:, :, ph : ph + height, pw : pw + width]

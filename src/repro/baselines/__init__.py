@@ -1,0 +1,58 @@
+"""Baseline models from the paper's comparison tables.
+
+Three families, matching Section II:
+
+* **static** (time dimension removed): DistMult, ComplEx, ConvE,
+  Conv-TransE, RotatE, static R-GCN;
+* **interpolation** (timestamp embeddings, no evolution): TTransE, HyTE,
+  TA-DistMult;
+* **extrapolation** (historical evolution): HistoryFrequency (a
+  nonparametric reference), CyGNet, RE-NET (simplified aggregator
+  variant), RGCRN, RE-GCN, CEN, TiRGN;
+* **rule/path skeletons** (:mod:`repro.baselines.rules`): TLogic-style
+  temporal rule mining, TITer-style beam path search, and an
+  xERTE-style attention-propagation subgraph scorer — lightweight
+  counterparts keeping each published system's decision structure.
+
+CluSTeR has no public code (the paper copies its numbers); it is the
+only comparison point not reimplemented (DESIGN.md §6).
+"""
+
+from repro.baselines.base import StaticTrainer, StaticTrainerConfig
+from repro.baselines.static_models import (
+    ComplEx,
+    ConvEModel,
+    ConvTransEModel,
+    DistMult,
+    RGCNStatic,
+    RotatE,
+)
+from repro.baselines.interpolation import HyTE, TADistMult, TTransE
+from repro.baselines.history import CyGNet, HistoryFrequency
+from repro.baselines.recurrent import CEN, REGCN, RENet, RGCRN, TiRGN
+from repro.baselines.rules import TemporalRule, TITerPaths, TLogicRules, XERTESubgraph
+
+__all__ = [
+    "StaticTrainer",
+    "StaticTrainerConfig",
+    "DistMult",
+    "ComplEx",
+    "ConvEModel",
+    "ConvTransEModel",
+    "RotatE",
+    "RGCNStatic",
+    "TTransE",
+    "HyTE",
+    "TADistMult",
+    "HistoryFrequency",
+    "CyGNet",
+    "RENet",
+    "RGCRN",
+    "REGCN",
+    "CEN",
+    "TiRGN",
+    "TLogicRules",
+    "TemporalRule",
+    "TITerPaths",
+    "XERTESubgraph",
+]

@@ -1,0 +1,150 @@
+"""Interpolation baselines: timestamp features without evolution.
+
+These models embed timestamps directly, so they can fill in facts at
+*seen* times but degrade under extrapolation: the future timestamp's
+embedding was never trained, and prediction clamps to the last trained
+time (Section IV-B1 explains the resulting weakness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines.base import TripleScorer
+from repro.nn import Embedding, GRUCell
+from repro.utils import l2_normalize_rows, seeded_rng
+
+
+class TTransE(TripleScorer):
+    """Translation with an additive time vector:
+    ``-||e_s + w_r + τ_t - e_o||_1`` (Jiang et al. 2016)."""
+
+    uses_time = True
+
+    def __init__(
+        self, num_entities: int, num_relations: int, num_timestamps: int, dim: int = 32, seed: int = 0
+    ):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.dim = dim
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.times = Embedding(num_timestamps, dim, rng=rng)
+        self.num_timestamps = num_timestamps
+
+    def _time(self, times) -> Tensor:
+        clamped = np.clip(np.asarray(times, dtype=np.int64), 0, self.num_timestamps - 1)
+        return self.times(clamped)
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        query = self.entities(subjects) + self.relations(relations) + self._time(times)
+        batch = query.shape[0]
+        diff = query.reshape(batch, 1, self.dim) - self.entities.weight.reshape(
+            1, self.num_entities, self.dim
+        )
+        return -diff.abs().sum(axis=2)
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        residual = self.entities(subjects) - self.entities(objects) + self._time(times)
+        batch = residual.shape[0]
+        m = self.num_relations
+        diff = residual.reshape(batch, 1, self.dim) + self.relations.weight[:m].reshape(
+            1, m, self.dim
+        )
+        return -diff.abs().sum(axis=2)
+
+
+class HyTE(TripleScorer):
+    """Hyperplane-projected TransE (Dasgupta et al. 2018): all embeddings
+    are projected onto a learned per-timestamp hyperplane before the
+    translation score."""
+
+    uses_time = True
+
+    def __init__(
+        self, num_entities: int, num_relations: int, num_timestamps: int, dim: int = 32, seed: int = 0
+    ):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.dim = dim
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.normals = Embedding(num_timestamps, dim, rng=rng)
+        self.num_timestamps = num_timestamps
+
+    def _project(self, x: Tensor, normal: Tensor) -> Tensor:
+        inner = (x * normal).sum(axis=-1, keepdims=True)
+        return x - normal * inner
+
+    def _normal(self, times) -> Tensor:
+        clamped = np.clip(np.asarray(times, dtype=np.int64), 0, self.num_timestamps - 1)
+        return l2_normalize_rows(self.normals(clamped))
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        normal = self._normal(times)
+        query = self._project(self.entities(subjects), normal) + self._project(
+            self.relations(relations), normal
+        )
+        batch = query.shape[0]
+        # Project every candidate per query (batched broadcast).
+        candidates = self.entities.weight.reshape(1, self.num_entities, self.dim)
+        normal_b = normal.reshape(batch, 1, self.dim)
+        inner = (candidates * normal_b).sum(axis=2, keepdims=True)
+        projected = candidates - normal_b * inner
+        diff = query.reshape(batch, 1, self.dim) - projected
+        return -diff.abs().sum(axis=2)
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        normal = self._normal(times)
+        residual = self._project(self.entities(subjects), normal) - self._project(
+            self.entities(objects), normal
+        )
+        batch = residual.shape[0]
+        m = self.num_relations
+        candidates = self.relations.weight[:m].reshape(1, m, self.dim)
+        normal_b = normal.reshape(batch, 1, self.dim)
+        inner = (candidates * normal_b).sum(axis=2, keepdims=True)
+        projected = candidates - normal_b * inner
+        diff = residual.reshape(batch, 1, self.dim) + projected
+        return -diff.abs().sum(axis=2)
+
+
+class TADistMult(TripleScorer):
+    """Time-aware DistMult (García-Durán et al. 2018): the relation
+    embedding is fused with the timestamp embedding through a recurrent
+    cell before bilinear scoring."""
+
+    uses_time = True
+
+    def __init__(
+        self, num_entities: int, num_relations: int, num_timestamps: int, dim: int = 32, seed: int = 0
+    ):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.times = Embedding(num_timestamps, dim, rng=rng)
+        self.fuse = GRUCell(dim, dim, rng=rng)
+        self.num_timestamps = num_timestamps
+
+    def _fused_relation(self, relations, times) -> Tensor:
+        clamped = np.clip(np.asarray(times, dtype=np.int64), 0, self.num_timestamps - 1)
+        return self.fuse(self.times(clamped), self.relations(relations))
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        query = self.entities(subjects) * self._fused_relation(relations, times)
+        return query @ self.entities.weight.T
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        m = self.num_relations
+        batch = len(np.asarray(subjects))
+        pair = self.entities(subjects) * self.entities(objects)
+        # Fuse every candidate relation with the query timestamp.
+        clamped = np.clip(np.asarray(times, dtype=np.int64), 0, self.num_timestamps - 1)
+        fused_all = self.fuse(
+            self.times(np.repeat(clamped, m)),
+            self.relations(np.tile(np.arange(m), batch)),
+        )
+        fused_all = fused_all.reshape(batch, m, -1)
+        return (pair.reshape(batch, 1, -1) * fused_all).sum(axis=2)

@@ -1,0 +1,346 @@
+"""Recurrent-evolution baselines: RE-NET (simplified), RGCRN, RE-GCN,
+CEN and TiRGN.
+
+RE-GCN is the architectural ancestor RETIA extends: entity evolution via
+an R-GCN + GRU per snapshot, relation evolution via mean-pooled adjacent
+entities + GRU ("w. MP+LSTM" level in Fig. 6/7 — the level that suffers
+from message islands).  RGCRN drops the relation evolution; CEN adds the
+time-variability probability ensemble; TiRGN adds a gated global-history
+copy distribution on top of RE-GCN's local scores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.baselines.base import SequentialForecaster
+from repro.baselines.history import _HistoryVocabulary
+from repro.core.decoder import ConvTransE
+from repro.core.rgcn import RGCNStack
+from repro.graph import Snapshot, TemporalKG
+from repro.nn import Embedding, GRUCell, Linear, Parameter, losses
+from repro.utils import l2_normalize_rows, seeded_rng
+
+
+class RecurrentEncoderBaseline(SequentialForecaster):
+    """Shared RE-GCN-style encoder/decoder skeleton.
+
+    Subclasses override :meth:`_relation_step` to choose how relation
+    embeddings evolve, and may override the probability combination.
+    """
+
+    #: Sum decoder probabilities over the evolved history (CEN) or use
+    #: only the last snapshot's embeddings (RE-GCN, RGCRN, TiRGN).
+    time_variability = False
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        history_length: int = 3,
+        num_layers: int = 2,
+        dropout: float = 0.2,
+        num_kernels: int = 16,
+        lambda_entity: float = 0.7,
+        seed: int = 0,
+    ):
+        super().__init__(history_length)
+        rng = seeded_rng(seed)
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.lambda_entity = lambda_entity
+        self.entity_embedding = Parameter(np.empty((num_entities, dim)))
+        self.relation_embedding = Parameter(np.empty((2 * num_relations, dim)))
+        from repro.nn import init
+
+        init.xavier_uniform_(self.entity_embedding, rng=rng)
+        init.xavier_uniform_(self.relation_embedding, rng=rng)
+        self.entity_gcn = RGCNStack(2 * num_relations, dim, num_layers, dropout, rng=rng)
+        self.entity_gru = GRUCell(dim, dim, rng=rng)
+        self.relation_gru = GRUCell(2 * dim, dim, rng=rng)
+        self.entity_decoder = ConvTransE(dim, num_kernels, dropout=dropout, rng=rng)
+        self.relation_decoder = ConvTransE(dim, num_kernels, dropout=dropout, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Encoder
+    # ------------------------------------------------------------------
+    def _relation_step(self, entity_prev: Tensor, relation_prev: Tensor, snapshot: Snapshot) -> Tensor:
+        """RE-GCN relation evolution: GRU([R_0 ; MP(E_{t-1})], R_{t-1})."""
+        entities, relations = snapshot.relation_entity_pairs
+        pooled = F.segment_mean(
+            entity_prev.gather_rows(entities), relations, 2 * self.num_relations
+        )
+        fused = F.concat([self.relation_embedding, pooled], axis=1)
+        return self.relation_gru(fused, relation_prev)
+
+    def evolve(self, history: List[Snapshot]) -> Tuple[List[Tensor], List[Tensor]]:
+        entity = l2_normalize_rows(self.entity_embedding)
+        relation = self.relation_embedding
+        if not history:
+            return [entity], [relation]
+        entity_list, relation_list = [], []
+        for snapshot in history:
+            relation = self._relation_step(entity, relation, snapshot)
+            aggregated = self.entity_gcn(
+                entity, relation, snapshot.edges_with_inverse, snapshot.edge_norm
+            )
+            entity = self.entity_gru(aggregated, entity)
+            entity_list.append(entity)
+            relation_list.append(relation)
+        return entity_list, relation_list
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _entity_probs(self, entity_list, relation_list, queries) -> List[Tensor]:
+        if not self.time_variability:
+            entity_list, relation_list = entity_list[-1:], relation_list[-1:]
+        queries = np.asarray(queries, dtype=np.int64)
+        probs = []
+        for entity, relation in zip(entity_list, relation_list):
+            probs.append(
+                self.entity_decoder.probabilities(
+                    entity.gather_rows(queries[:, 0]),
+                    relation.gather_rows(queries[:, 1]),
+                    entity,
+                )
+            )
+        return probs
+
+    def _relation_probs(self, entity_list, relation_list, pairs) -> List[Tensor]:
+        if not self.time_variability:
+            entity_list, relation_list = entity_list[-1:], relation_list[-1:]
+        pairs = np.asarray(pairs, dtype=np.int64)
+        m = self.num_relations
+        probs = []
+        for entity, relation in zip(entity_list, relation_list):
+            probs.append(
+                self.relation_decoder.probabilities(
+                    entity.gather_rows(pairs[:, 0]),
+                    entity.gather_rows(pairs[:, 1]),
+                    relation[:m],
+                )
+            )
+        return probs
+
+    # ------------------------------------------------------------------
+    # Trainer contract (same shape as RETIA.loss_on_snapshot)
+    # ------------------------------------------------------------------
+    def loss_on_snapshot(self, target: Snapshot):
+        history = self.history_before(target.time)
+        entity_list, relation_list = self.evolve(history)
+        triples = target.triples
+        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
+        queries = np.concatenate(
+            [np.stack([s, r], axis=1), np.stack([o, r + self.num_relations], axis=1)]
+        )
+        targets = np.concatenate([o, s])
+        loss_entity = losses.nll_of_summed_probs(
+            self._entity_probs(entity_list, relation_list, queries), targets
+        )
+        loss_relation = losses.nll_of_summed_probs(
+            self._relation_probs(entity_list, relation_list, np.stack([s, o], axis=1)), r
+        )
+        joint = loss_entity * self.lambda_entity + loss_relation * (1 - self.lambda_entity)
+        return joint, loss_entity, loss_relation
+
+    # ------------------------------------------------------------------
+    # ExtrapolationModel contract
+    # ------------------------------------------------------------------
+    def _predict(self, fn, rows, time):
+        history = self.history_before(time)
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            entity_list, relation_list = self.evolve(history)
+            probs = fn(entity_list, relation_list, rows)
+        if was_training:
+            self.train()
+        total = probs[0].data.copy()
+        for p in probs[1:]:
+            total += p.data
+        return total
+
+    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+        return self._predict(self._entity_probs, queries, time)
+
+    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+        return self._predict(self._relation_probs, pairs, time)
+
+
+class REGCN(RecurrentEncoderBaseline):
+    """RE-GCN (Li et al. 2021): the skeleton as-is."""
+
+
+class RGCRN(RecurrentEncoderBaseline):
+    """RGCRN (Seo et al. 2018 adapted): entity evolution only — relation
+    embeddings stay at their initial values."""
+
+    def _relation_step(self, entity_prev, relation_prev, snapshot) -> Tensor:
+        return self.relation_embedding
+
+
+class CEN(RecurrentEncoderBaseline):
+    """CEN (Li et al. 2022): RE-GCN encoding plus the time-variability
+    probability ensemble over the evolved history; pairs with online
+    continuous training via the Trainer's OnlineAdapter."""
+
+    time_variability = True
+
+
+class RENet(SequentialForecaster):
+    """Simplified RE-NET (Jin et al. 2020): per-entity neighborhood
+    aggregation evolved by a GRU, decoded by an MLP.
+
+    The published model samples per-query neighbor sequences; this
+    variant aggregates each entity's in-neighborhood per snapshot (the
+    same conditioning information) so it runs batched.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        history_length: int = 3,
+        lambda_entity: float = 0.7,
+        seed: int = 0,
+    ):
+        super().__init__(history_length)
+        rng = seeded_rng(seed)
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.lambda_entity = lambda_entity
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.aggregate_gru = GRUCell(dim, dim, rng=rng)
+        self.entity_head = Linear(3 * dim, dim, rng=rng)
+        self.relation_head = Linear(4 * dim, dim, rng=rng)
+
+    def _context(self, history: List[Snapshot]) -> Tensor:
+        """Per-entity temporal context from neighbor-mean aggregation."""
+        hidden = Tensor(np.zeros(self.entities.weight.shape))
+        for snapshot in history:
+            edges = snapshot.edges_with_inverse
+            if len(edges):
+                messages = self.entities(edges[:, 0]) + self.relations(edges[:, 1])
+                pooled = F.segment_mean(messages, edges[:, 2], self.num_entities)
+            else:
+                pooled = Tensor(np.zeros(self.entities.weight.shape))
+            hidden = self.aggregate_gru(pooled, hidden)
+        return hidden
+
+    def _entity_logits(self, context: Tensor, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        fused = F.concat(
+            [
+                self.entities(queries[:, 0]),
+                context.gather_rows(queries[:, 0]),
+                self.relations(queries[:, 1]),
+            ],
+            axis=1,
+        )
+        return self.entity_head(fused).relu() @ self.entities.weight.T
+
+    def _relation_logits(self, context: Tensor, pairs: np.ndarray) -> Tensor:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        fused = F.concat(
+            [
+                self.entities(pairs[:, 0]),
+                context.gather_rows(pairs[:, 0]),
+                self.entities(pairs[:, 1]),
+                context.gather_rows(pairs[:, 1]),
+            ],
+            axis=1,
+        )
+        return self.relation_head(fused).relu() @ self.relations.weight[: self.num_relations].T
+
+    def loss_on_snapshot(self, target: Snapshot):
+        context = self._context(self.history_before(target.time))
+        triples = target.triples
+        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
+        queries = np.concatenate(
+            [np.stack([s, r], axis=1), np.stack([o, r + self.num_relations], axis=1)]
+        )
+        targets = np.concatenate([o, s])
+        loss_entity = losses.cross_entropy(self._entity_logits(context, queries), targets)
+        loss_relation = losses.cross_entropy(
+            self._relation_logits(context, np.stack([s, o], axis=1)), r
+        )
+        joint = loss_entity * self.lambda_entity + loss_relation * (1 - self.lambda_entity)
+        return joint, loss_entity, loss_relation
+
+    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            logits = self._entity_logits(self._context(self.history_before(time)), queries)
+        if was_training:
+            self.train()
+        return logits.data
+
+    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            logits = self._relation_logits(self._context(self.history_before(time)), pairs)
+        if was_training:
+            self.train()
+        return logits.data
+
+
+class TiRGN(RecurrentEncoderBaseline):
+    """TiRGN (Li et al. 2022): RE-GCN local scores gated against a global
+    history-repetition distribution."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.history_gate = Parameter(np.zeros(1))  # sigmoid -> phi
+        self.vocab = _HistoryVocabulary(self.num_entities, self.num_relations)
+
+    def set_history(self, graph: TemporalKG) -> None:
+        super().set_history(graph)
+        self.vocab = _HistoryVocabulary(self.num_entities, self.num_relations)
+        self.vocab.add_graph(graph)
+
+    def record_snapshot(self, snapshot: Snapshot) -> None:
+        super().record_snapshot(snapshot)
+        self.vocab.add_snapshot(snapshot)
+
+    def _global_entity_probs(self, queries: np.ndarray) -> np.ndarray:
+        rows = []
+        for s, r in np.asarray(queries, dtype=np.int64):
+            vec = self.vocab.entity_vector(int(s), int(r))
+            total = vec.sum()
+            rows.append(
+                vec / total if total > 0 else np.full(self.num_entities, 1.0 / self.num_entities)
+            )
+        return np.stack(rows)
+
+    def _global_relation_probs(self, pairs: np.ndarray) -> np.ndarray:
+        rows = []
+        for s, o in np.asarray(pairs, dtype=np.int64):
+            vec = self.vocab.relation_vector(int(s), int(o))
+            total = vec.sum()
+            rows.append(
+                vec / total if total > 0 else np.full(self.num_relations, 1.0 / self.num_relations)
+            )
+        return np.stack(rows)
+
+    def _entity_probs(self, entity_list, relation_list, queries) -> List[Tensor]:
+        local = super()._entity_probs(entity_list, relation_list, queries)
+        phi = self.history_gate.sigmoid()
+        glob = Tensor(self._global_entity_probs(queries))
+        return [p * phi + glob * (1.0 - phi) for p in local]
+
+    def _relation_probs(self, entity_list, relation_list, pairs) -> List[Tensor]:
+        local = super()._relation_probs(entity_list, relation_list, pairs)
+        phi = self.history_gate.sigmoid()
+        glob = Tensor(self._global_relation_probs(pairs))
+        return [p * phi + glob * (1.0 - phi) for p in local]

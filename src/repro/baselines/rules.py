@@ -1,0 +1,337 @@
+"""Temporal-rule and path-based baselines: TLogic-style rule mining,
+TITer-style path search, and an xERTE-style subgraph scorer.
+
+The published systems are heavyweight (cyclic-rule learners, RL
+walkers, attention-propagation samplers); these are faithful lightweight
+counterparts that keep each system's *decision structure*:
+
+* :class:`TLogicRules` mines cyclic temporal rules
+  ``r_body@(t-Δ) ⇒ r_head@t`` with confidences from the training stream
+  and scores candidates by rule application — explainable, training-free
+  inference, like TLogic.
+* :class:`TITerPaths` walks outgoing edges from the query subject
+  through recent history with a beam, scoring candidates by
+  time-decayed path likelihoods — the search skeleton of TITer without
+  the learned policy.
+* :class:`XERTESubgraph` expands a time-aware subgraph around the query
+  and propagates attention toward candidates, like xERTE's inference
+  graph without learned embeddings.
+
+All three implement the ExtrapolationModel protocol and learn nothing
+during ``observe`` except extending their history index.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph import Snapshot, TemporalKG
+
+
+class _TemporalIndex:
+    """Chronological fact index shared by the rule/path baselines."""
+
+    def __init__(self, num_entities: int, num_relations: int):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        #: time -> list of (s, r, o) triples (doubled with inverses).
+        self.by_time: Dict[int, np.ndarray] = {}
+
+    def add_snapshot(self, snapshot: Snapshot) -> None:
+        self.by_time[snapshot.time] = snapshot.edges_with_inverse
+
+    def add_graph(self, graph: TemporalKG) -> None:
+        for t in graph.timestamps:
+            self.add_snapshot(graph.snapshot(int(t)))
+
+    def window(self, time: int, length: int) -> List[Tuple[int, np.ndarray]]:
+        """The last ``length`` known timestamps strictly before ``time``."""
+        times = sorted(t for t in self.by_time if t < time)
+        return [(t, self.by_time[t]) for t in times[-length:]]
+
+
+@dataclass(frozen=True)
+class TemporalRule:
+    """A cyclic rule ``body@(t-lag) ⇒ head@t`` with its confidence."""
+
+    body: int
+    head: int
+    lag: int
+    confidence: float
+    support: int
+
+
+class TLogicRules:
+    """Mine and apply cyclic temporal rules (TLogic-style).
+
+    Mining walks the training stream: whenever ``(s, r_b, o)`` holds at
+    ``t - lag`` and ``(s, r_h, o)`` holds at ``t``, the rule
+    ``r_b ⇒_lag r_h`` gains support; confidence is support divided by
+    the body count.  At inference, a query ``(s, r_h, ?, t)`` fires all
+    rules with head ``r_h``: each body fact ``(s, r_b, o')`` in the
+    window votes for ``o'`` with the rule's confidence.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        max_lag: int = 3,
+        min_support: int = 2,
+        min_confidence: float = 0.05,
+    ):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.max_lag = max_lag
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.index = _TemporalIndex(num_entities, num_relations)
+        self.rules: Dict[int, List[TemporalRule]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+    def fit(self, graph: TemporalKG) -> "TLogicRules":
+        self.index.add_graph(graph)
+        times = sorted(self.index.by_time)
+        body_counts: Counter = Counter()
+        pair_counts: Counter = Counter()
+        pair_index: Dict[int, Dict[Tuple[int, int], set]] = {}
+        for t in times:
+            edges = self.index.by_time[t]
+            pairs: Dict[Tuple[int, int], set] = defaultdict(set)
+            for s, r, o in edges:
+                pairs[(int(s), int(o))].add(int(r))
+            pair_index[t] = pairs
+
+        for lag in range(1, self.max_lag + 1):
+            for t in times:
+                if t - lag not in pair_index:
+                    continue
+                earlier, later = pair_index[t - lag], pair_index[t]
+                for pair, body_rels in earlier.items():
+                    for r_b in body_rels:
+                        body_counts[(r_b, lag)] += 1
+                    head_rels = later.get(pair)
+                    if not head_rels:
+                        continue
+                    for r_b in body_rels:
+                        for r_h in head_rels:
+                            pair_counts[(r_b, r_h, lag)] += 1
+
+        for (r_b, r_h, lag), support in pair_counts.items():
+            if support < self.min_support:
+                continue
+            confidence = support / body_counts[(r_b, lag)]
+            if confidence < self.min_confidence:
+                continue
+            self.rules[r_h].append(TemporalRule(r_b, r_h, lag, confidence, support))
+        for head in self.rules:
+            self.rules[head].sort(key=lambda rule: -rule.confidence)
+        return self
+
+    @property
+    def num_rules(self) -> int:
+        return sum(len(rules) for rules in self.rules.values())
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.int64)
+        scores = np.zeros((len(queries), self.num_entities))
+        window = dict(self.index.window(time, self.max_lag))
+        for i, (s, r_head) in enumerate(queries):
+            for rule in self.rules.get(int(r_head), ()):
+                edges = window.get(time - rule.lag)
+                if edges is None or not len(edges):
+                    continue
+                mask = (edges[:, 0] == s) & (edges[:, 1] == rule.body)
+                for o in edges[mask, 2]:
+                    scores[i, int(o)] += rule.confidence
+        return scores
+
+    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+        """Score relations by rules whose body fired for the pair."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        scores = np.zeros((len(pairs), self.num_relations))
+        window = dict(self.index.window(time, self.max_lag))
+        heads_by_body: Dict[Tuple[int, int], List[TemporalRule]] = defaultdict(list)
+        for rules in self.rules.values():
+            for rule in rules:
+                heads_by_body[(rule.body, rule.lag)].append(rule)
+        for i, (s, o) in enumerate(pairs):
+            for lag in range(1, self.max_lag + 1):
+                edges = window.get(time - lag)
+                if edges is None or not len(edges):
+                    continue
+                mask = (edges[:, 0] == s) & (edges[:, 2] == o)
+                for r_b in edges[mask, 1]:
+                    for rule in heads_by_body.get((int(r_b), lag), ()):
+                        if rule.head < self.num_relations:
+                            scores[i, rule.head] += rule.confidence
+        return scores
+
+    def observe(self, snapshot: Snapshot) -> None:
+        self.index.add_snapshot(snapshot)
+
+
+class TITerPaths:
+    """Beam search over recent history paths (TITer-style skeleton).
+
+    From the query subject, walk up to ``max_hops`` edges through the
+    window (most recent snapshots first, each hop discounted), keeping a
+    beam of the highest-scored partial paths.  Terminal entities collect
+    the path scores; paths whose first edge matches the query relation
+    get a relation-match bonus.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        window: int = 3,
+        max_hops: int = 2,
+        beam_width: int = 32,
+        decay: float = 0.7,
+        relation_bonus: float = 2.0,
+    ):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.window_length = window
+        self.max_hops = max_hops
+        self.beam_width = beam_width
+        self.decay = decay
+        self.relation_bonus = relation_bonus
+        self.index = _TemporalIndex(num_entities, num_relations)
+
+    def fit(self, graph: TemporalKG) -> "TITerPaths":
+        self.index.add_graph(graph)
+        return self
+
+    def _adjacency(self, time: int) -> Dict[int, List[Tuple[int, int, float]]]:
+        """Outgoing edges (relation, object, recency weight) per entity."""
+        adjacency: Dict[int, List[Tuple[int, int, float]]] = defaultdict(list)
+        window = self.index.window(time, self.window_length)
+        for age, (_, edges) in enumerate(reversed(window)):
+            weight = self.decay**age
+            for s, r, o in edges:
+                adjacency[int(s)].append((int(r), int(o), weight))
+        return adjacency
+
+    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.int64)
+        scores = np.zeros((len(queries), self.num_entities))
+        adjacency = self._adjacency(time)
+        for i, (subject, relation) in enumerate(queries):
+            beam: List[Tuple[float, int]] = [(1.0, int(subject))]
+            for hop in range(self.max_hops):
+                candidates: List[Tuple[float, int]] = []
+                for path_score, node in beam:
+                    for r, o, weight in adjacency.get(node, ()):
+                        bonus = self.relation_bonus if (hop == 0 and r == relation) else 1.0
+                        candidates.append((path_score * weight * bonus * self.decay**hop, o))
+                if not candidates:
+                    break
+                candidates.sort(key=lambda c: -c[0])
+                beam = candidates[: self.beam_width]
+                for path_score, node in beam:
+                    scores[i, node] += path_score
+        return scores
+
+    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+        """Score relations by recency-weighted (s -r-> o) evidence."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        scores = np.zeros((len(pairs), self.num_relations))
+        window = self.index.window(time, self.window_length)
+        for age, (_, edges) in enumerate(reversed(window)):
+            weight = self.decay**age
+            for i, (s, o) in enumerate(pairs):
+                mask = (edges[:, 0] == s) & (edges[:, 2] == o)
+                for r in edges[mask, 1]:
+                    if int(r) < self.num_relations:
+                        scores[i, int(r)] += weight
+        return scores
+
+    def observe(self, snapshot: Snapshot) -> None:
+        self.index.add_snapshot(snapshot)
+
+
+class XERTESubgraph:
+    """Attention propagation over a query-rooted temporal subgraph
+    (xERTE-style skeleton).
+
+    Starting with all attention on the query subject, repeatedly spread
+    attention over outgoing window edges (sharper for edges matching the
+    query relation), accumulating per-entity attention as the candidate
+    score.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        window: int = 3,
+        hops: int = 2,
+        relation_affinity: float = 3.0,
+        decay: float = 0.7,
+    ):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.window_length = window
+        self.hops = hops
+        self.relation_affinity = relation_affinity
+        self.decay = decay
+        self.index = _TemporalIndex(num_entities, num_relations)
+
+    def fit(self, graph: TemporalKG) -> "XERTESubgraph":
+        self.index.add_graph(graph)
+        return self
+
+    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.int64)
+        window = self.index.window(time, self.window_length)
+        if not window:
+            return np.zeros((len(queries), self.num_entities))
+        # Stack all window edges with recency weights once.
+        blocks, weights = [], []
+        for age, (_, edges) in enumerate(reversed(window)):
+            if len(edges):
+                blocks.append(edges)
+                weights.append(np.full(len(edges), self.decay**age))
+        if not blocks:
+            return np.zeros((len(queries), self.num_entities))
+        edges = np.concatenate(blocks)
+        recency = np.concatenate(weights)
+
+        scores = np.zeros((len(queries), self.num_entities))
+        for i, (subject, relation) in enumerate(queries):
+            attention = np.zeros(self.num_entities)
+            attention[int(subject)] = 1.0
+            accumulated = np.zeros(self.num_entities)
+            for _ in range(self.hops):
+                src_attention = attention[edges[:, 0]]
+                affinity = np.where(edges[:, 1] == relation, self.relation_affinity, 1.0)
+                flow = src_attention * recency * affinity
+                spread = np.zeros(self.num_entities)
+                np.add.at(spread, edges[:, 2], flow)
+                total = spread.sum()
+                if total <= 0:
+                    break
+                attention = spread / total
+                accumulated += attention
+            scores[i] = accumulated
+        return scores
+
+    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+        """Relation evidence from window co-occurrence (as TITer)."""
+        helper = TITerPaths(self.num_entities, self.num_relations, self.window_length)
+        helper.index = self.index
+        return helper.predict_relations(pairs, time)
+
+    def observe(self, snapshot: Snapshot) -> None:
+        self.index.add_snapshot(snapshot)

@@ -1,0 +1,268 @@
+"""Static KG embedding baselines (Section II-1 of the paper).
+
+All models embed the doubled relation space ``[0, 2M)`` so inverse
+(subject) queries score naturally; relation forecasting uses the first
+``M`` rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.baselines.base import TripleScorer
+from repro.core.decoder import ConvTransE
+from repro.core.rgcn import RGCNStack
+from repro.graph import TemporalKG
+from repro.nn import Embedding, Linear, Conv2d, Dropout, Parameter, init
+from repro.utils import seeded_rng
+
+
+class DistMult(TripleScorer):
+    """Bilinear-diagonal scoring: ``<e_s, w_r, e_o>`` (Yang et al. 2015)."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32, seed: int = 0):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        query = self.entities(subjects) * self.relations(relations)
+        return query @ self.entities.weight.T
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        query = self.entities(subjects) * self.entities(objects)
+        return query @ self.relations.weight[: self.num_relations].T
+
+
+class ComplEx(TripleScorer):
+    """Complex bilinear scoring ``Re(<e_s, w_r, conj(e_o)>)``.
+
+    Embeddings are stored as real/imaginary halves of width ``dim``.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32, seed: int = 0):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.ent_re = Embedding(num_entities, dim, rng=rng)
+        self.ent_im = Embedding(num_entities, dim, rng=rng)
+        self.rel_re = Embedding(2 * num_relations, dim, rng=rng)
+        self.rel_im = Embedding(2 * num_relations, dim, rng=rng)
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        s_re, s_im = self.ent_re(subjects), self.ent_im(subjects)
+        r_re, r_im = self.rel_re(relations), self.rel_im(relations)
+        real_part = s_re * r_re - s_im * r_im
+        imag_part = s_re * r_im + s_im * r_re
+        return real_part @ self.ent_re.weight.T + imag_part @ self.ent_im.weight.T
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        s_re, s_im = self.ent_re(subjects), self.ent_im(subjects)
+        o_re, o_im = self.ent_re(objects), self.ent_im(objects)
+        u = s_re * o_re + s_im * o_im
+        v = s_re * o_im - s_im * o_re
+        m = self.num_relations
+        return u @ self.rel_re.weight[:m].T + v @ self.rel_im.weight[:m].T
+
+
+class RotatE(TripleScorer):
+    """Rotation scoring ``-||e_s ∘ w_r - e_o||_1`` (Sun et al. 2019).
+
+    Entities are complex (re/im halves of width ``dim``); relations are
+    unit-modulus rotations parameterised by phases.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 16, seed: int = 0):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.ent_re = Embedding(num_entities, dim, rng=rng)
+        self.ent_im = Embedding(num_entities, dim, rng=rng)
+        self.phase = Parameter(rng.uniform(-np.pi, np.pi, size=(2 * num_relations, dim)))
+        self.dim = dim
+
+    def _rotated(self, subjects, relations):
+        s_re, s_im = self.ent_re(subjects), self.ent_im(subjects)
+        cos = self.phase.gather_rows(relations)  # phases; take cos/sin below
+        # cos/sin of a Tensor: compose from exp of imaginary is overkill —
+        # use detach-free elementwise via numpy-backed ops.
+        cos_t = _cos(cos)
+        sin_t = _sin(self.phase.gather_rows(relations))
+        q_re = s_re * cos_t - s_im * sin_t
+        q_im = s_re * sin_t + s_im * cos_t
+        return q_re, q_im
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        q_re, q_im = self._rotated(subjects, relations)
+        batch = q_re.shape[0]
+        diff_re = q_re.reshape(batch, 1, self.dim) - self.ent_re.weight.reshape(
+            1, self.num_entities, self.dim
+        )
+        diff_im = q_im.reshape(batch, 1, self.dim) - self.ent_im.weight.reshape(
+            1, self.num_entities, self.dim
+        )
+        return -(diff_re.abs() + diff_im.abs()).sum(axis=2)
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        s_re, s_im = self.ent_re(subjects), self.ent_im(subjects)
+        o_re, o_im = self.ent_re(objects), self.ent_im(objects)
+        m = self.num_relations
+        batch = s_re.shape[0]
+        cos_all = _cos(self.phase[:m]).reshape(1, m, self.dim)
+        sin_all = _sin(self.phase[:m]).reshape(1, m, self.dim)
+        s_re_b = s_re.reshape(batch, 1, self.dim)
+        s_im_b = s_im.reshape(batch, 1, self.dim)
+        q_re = s_re_b * cos_all - s_im_b * sin_all
+        q_im = s_re_b * sin_all + s_im_b * cos_all
+        diff_re = q_re - o_re.reshape(batch, 1, self.dim)
+        diff_im = q_im - o_im.reshape(batch, 1, self.dim)
+        return -(diff_re.abs() + diff_im.abs()).sum(axis=2)
+
+
+def _cos(x: Tensor) -> Tensor:
+    """Differentiable cosine built on the Tensor op set."""
+    data = np.cos(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(-np.asarray(grad) * np.sin(x.data))
+
+    return Tensor._from_op(data, (x,), backward, "cos")
+
+
+def _sin(x: Tensor) -> Tensor:
+    """Differentiable sine built on the Tensor op set."""
+    data = np.sin(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad) * np.cos(x.data))
+
+    return Tensor._from_op(data, (x,), backward, "sin")
+
+
+class ConvEModel(TripleScorer):
+    """ConvE (Dettmers et al. 2018): 2D convolution over stacked
+    reshaped subject/relation embeddings."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        reshape_height: int = 4,
+        channels: int = 8,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__(num_entities, num_relations)
+        if dim % reshape_height:
+            raise ValueError("dim must be divisible by reshape_height")
+        rng = seeded_rng(seed)
+        self.dim = dim
+        self.h = reshape_height
+        self.w = dim // reshape_height
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.conv = Conv2d(1, channels, kernel_size=(3, 3), padding=(1, 1), rng=rng)
+        self.project = Linear(channels * 2 * self.h * self.w, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def _query(self, first: Tensor, second: Tensor) -> Tensor:
+        batch = first.shape[0]
+        image = F.concat(
+            [first.reshape(batch, 1, self.h, self.w), second.reshape(batch, 1, self.h, self.w)],
+            axis=2,
+        )
+        hidden = self.conv(image).relu().reshape(batch, -1)
+        return self.drop(self.project(hidden).relu())
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        query = self._query(self.entities(subjects), self.relations(relations))
+        return query @ self.entities.weight.T
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        query = self._query(self.entities(subjects), self.entities(objects))
+        return query @ self.relations.weight[: self.num_relations].T
+
+
+class ConvTransEModel(TripleScorer):
+    """Conv-TransE (Shang et al. 2019) on static embeddings, reusing the
+    same decoder unit RETIA uses (Eq. 11-12)."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        num_kernels: int = 16,
+        seed: int = 0,
+    ):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.decoder = ConvTransE(dim, num_kernels=num_kernels, rng=rng)
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        return self.decoder(
+            self.entities(subjects), self.relations(relations), self.entities.weight
+        )
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        return self.decoder(
+            self.entities(subjects),
+            self.entities(objects),
+            self.relations.weight[: self.num_relations],
+        )
+
+
+class RGCNStatic(TripleScorer):
+    """Static R-GCN encoder over the collapsed graph + DistMult decoder.
+
+    The static graph's edges are fixed at :meth:`prepare`; each forward
+    pass re-encodes entities through the R-GCN stack.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        num_layers: int = 1,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__(num_entities, num_relations)
+        rng = seeded_rng(seed)
+        self.entities = Embedding(num_entities, dim, rng=rng)
+        self.relations = Embedding(2 * num_relations, dim, rng=rng)
+        self.gcn = RGCNStack(2 * num_relations, dim, num_layers=num_layers, dropout=dropout, rng=rng)
+        self._edges = np.zeros((0, 3), dtype=np.int64)
+        self._norm = np.zeros(0)
+
+    def prepare(self, graph: TemporalKG) -> "RGCNStatic":
+        """Fix the static message-passing structure from a training graph."""
+        from repro.graph import Snapshot
+
+        static = graph.to_static()
+        snapshot = Snapshot(static, self.num_entities, self.num_relations, time=0)
+        self._edges = snapshot.edges_with_inverse
+        self._norm = snapshot.edge_norm
+        return self
+
+    def _encode(self) -> Tensor:
+        return self.gcn(self.entities.weight, self.relations.weight, self._edges, self._norm)
+
+    def entity_scores(self, subjects, relations, times=None) -> Tensor:
+        encoded = self._encode()
+        query = encoded.gather_rows(subjects) * self.relations(relations)
+        return query @ encoded.T
+
+    def relation_scores(self, subjects, objects, times=None) -> Tensor:
+        encoded = self._encode()
+        query = encoded.gather_rows(subjects) * encoded.gather_rows(objects)
+        return query @ self.relations.weight[: self.num_relations].T

@@ -1,0 +1,29 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+:mod:`repro.bench.runner` knows how to build, train and evaluate every
+method on every synthetic benchmark (with caching, so tables that share
+trained models — e.g. Table III entity scores, Table VII relation scores
+and Table VIII timings — train each model once per pytest session).
+:mod:`repro.bench.tables` renders paper-style result tables.
+"""
+
+from repro.bench.runner import (
+    BENCH_PROFILES,
+    DEFAULT_METHODS,
+    BenchProfile,
+    TrainedMethod,
+    get_trained,
+    retia_variant,
+)
+from repro.bench.tables import format_table, print_header
+
+__all__ = [
+    "BenchProfile",
+    "BENCH_PROFILES",
+    "DEFAULT_METHODS",
+    "TrainedMethod",
+    "get_trained",
+    "retia_variant",
+    "format_table",
+    "print_header",
+]

@@ -1,0 +1,75 @@
+"""Conv-TransE decoder (Shang et al. 2019), used as the paper's
+time-variability E-decoder and R-decoder (Eq. 11–12).
+
+Two d-dimensional embeddings (subject+relation for entity decoding;
+subject+object for relation decoding) are stacked into a 2 x d "image",
+convolved with ``num_kernels`` 2x3 kernels (padding keeps width d),
+flattened and projected back to d.  Scores are the dot products of the
+projected query vector with all candidate embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.nn import Conv2d, Dropout, Linear, Module
+
+
+class ConvTransE(Module):
+    """Score queries against a candidate embedding matrix.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality ``d``.
+    num_kernels:
+        Convolution channels (paper: 50).
+    kernel_width:
+        Width of the ``2 x kernel_width`` kernels (paper: 3).
+    dropout:
+        Dropout rate on the hidden projection (paper: 0.2).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_kernels: int = 50,
+        kernel_width: int = 3,
+        dropout: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if kernel_width % 2 == 0:
+            raise ValueError("kernel_width must be odd so padding preserves d")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.conv = Conv2d(
+            1,
+            num_kernels,
+            kernel_size=(2, kernel_width),
+            padding=(0, (kernel_width - 1) // 2),
+            rng=rng,
+        )
+        self.project = Linear(num_kernels * dim, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def query(self, first: Tensor, second: Tensor) -> Tensor:
+        """Fuse two ``(B, d)`` embedding batches into ``(B, d)`` queries."""
+        batch = first.shape[0]
+        stacked = F.stack([first, second], axis=1)  # (B, 2, d)
+        image = stacked.reshape(batch, 1, 2, self.dim)
+        hidden = self.conv(image).relu()  # (B, K, 1, d)
+        flat = hidden.reshape(batch, -1)
+        return self.drop(self.project(flat).relu())
+
+    def forward(self, first: Tensor, second: Tensor, candidates: Tensor) -> Tensor:
+        """Raw scores ``(B, C)`` of every candidate row for each query."""
+        return self.query(first, second) @ candidates.T
+
+    def probabilities(self, first: Tensor, second: Tensor, candidates: Tensor) -> Tensor:
+        """Softmax scores, the ``p_t`` terms of Eq. 11–12."""
+        return F.softmax(self.forward(first, second, candidates), axis=-1)

@@ -1,0 +1,384 @@
+"""The full RETIA model: encoder (EAM + RAM + TIM) and decoders.
+
+The class exposes the :class:`~repro.eval.ExtrapolationModel` contract
+(``predict_entities`` / ``predict_relations`` / ``observe``) and a
+``loss_on_snapshot`` used by the trainer (Eq. 13–14).
+
+Every ablation the paper runs is a constructor switch:
+
+==================  ====================================================
+``use_eam=False``   Table VI "wo. EAM" — entities stay at E_0.
+``relation_mode``   Fig. 6/7 levels: ``"none"`` (wo. RM, also Table VI
+                    "wo. RAM"), ``"mp"`` (w. MP), ``"mp_lstm"``
+                    (w. MP+LSTM — the RE-GCN/TiRGN level) and ``"full"``
+                    (w. MP+LSTM+Agg — RETIA).
+``use_tim=False``   Table IX / Fig. 3-4 "wo. TIM" — EAM and RAM evolve
+                    with disconnected relation embeddings.
+``hyper_mode``      Fig. 5 levels: ``"none"`` (wo. HRM), ``"hmp"``
+                    (w. HMP) and ``"full"`` (w. HMP+HLSTM).
+``time_variability``  Sum decoder probabilities over the k historical
+                    snapshots (CEN-style, Eq. 13-14) vs. last-only.
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.core.decoder import ConvTransE
+from repro.core.eam import EntityAggregationModule
+from repro.core.ram import RelationAggregationModule
+from repro.core.tim import TwinInteractModule
+from repro.graph import (
+    NUM_HYPERRELATIONS,
+    HyperSnapshot,
+    Snapshot,
+    TemporalKG,
+    build_hyperrelation_graph,
+)
+from repro.nn import Module, Parameter, init, losses
+from repro.utils import l2_normalize_rows, seeded_rng
+
+RELATION_MODES = ("none", "mp", "mp_lstm", "full")
+HYPER_MODES = ("none", "hmp", "full")
+
+
+@dataclass(frozen=True)
+class RETIAConfig:
+    """Hyperparameters and ablation switches for :class:`RETIA`."""
+
+    num_entities: int
+    num_relations: int
+    dim: int = 32
+    history_length: int = 3
+    num_layers: int = 2
+    dropout: float = 0.2
+    num_kernels: int = 24
+    kernel_width: int = 3
+    lambda_entity: float = 0.7
+    use_eam: bool = True
+    relation_mode: str = "full"
+    use_tim: bool = True
+    hyper_mode: str = "full"
+    time_variability: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.relation_mode not in RELATION_MODES:
+            raise ValueError(f"relation_mode must be one of {RELATION_MODES}")
+        if self.hyper_mode not in HYPER_MODES:
+            raise ValueError(f"hyper_mode must be one of {HYPER_MODES}")
+        if not 0.0 <= self.lambda_entity <= 1.0:
+            raise ValueError("lambda_entity must be in [0, 1]")
+        if self.history_length < 1:
+            raise ValueError("history_length must be >= 1")
+
+
+class RETIA(Module):
+    """Relation-Entity Twin-Interact Aggregation (ICDE 2023)."""
+
+    def __init__(self, config: RETIAConfig):
+        super().__init__()
+        self.config = config
+        rng = seeded_rng(config.seed)
+        n, m, d = config.num_entities, config.num_relations, config.dim
+
+        # Input embedding matrices (Table I: E_0, R_0, HR_0).
+        self.entity_embedding = Parameter(np.empty((n, d)))
+        self.relation_embedding = Parameter(np.empty((2 * m, d)))
+        self.hyper_embedding = Parameter(np.empty((2 * NUM_HYPERRELATIONS, d)))
+        init.xavier_uniform_(self.entity_embedding, rng=rng)
+        init.xavier_uniform_(self.relation_embedding, rng=rng)
+        init.xavier_uniform_(self.hyper_embedding, rng=rng)
+        # Disconnected relation bank the EAM falls back to when the TIM
+        # channel is ablated away (Section IV-D1).
+        self.eam_relation_embedding = Parameter(np.empty((2 * m, d)))
+        init.xavier_uniform_(self.eam_relation_embedding, rng=rng)
+
+        self.tim = TwinInteractModule(m, d, rng=rng)
+        self.ram = RelationAggregationModule(
+            d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
+        )
+        self.eam = EntityAggregationModule(
+            m, d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
+        )
+        self.entity_decoder = ConvTransE(
+            d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
+        )
+        self.relation_decoder = ConvTransE(
+            d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
+        )
+
+        self._history: Dict[int, Snapshot] = {}
+        self._hyper_cache: Dict[Tuple[int, int], HyperSnapshot] = {}
+        self._predict_cache: Optional[tuple] = None
+        self._version = 0
+        self.static_constraint = None
+        self.static_weight = 0.0
+
+    def attach_static_constraint(self, constraint, weight: float = 1.0) -> None:
+        """Add RE-GCN-style static graph constraints to the training loss.
+
+        Must be called before the optimizer is built so the constraint's
+        parameters are included.  See
+        :mod:`repro.core.static_constraint`.
+        """
+        self.static_constraint = constraint
+        self.static_weight = float(weight)
+
+    # ------------------------------------------------------------------
+    # History management
+    # ------------------------------------------------------------------
+    def set_history(self, graph: TemporalKG) -> None:
+        """Load the known past (training facts) into the history buffer."""
+        self._history = {int(t): graph.snapshot(int(t)) for t in graph.timestamps}
+        self._invalidate()
+
+    def record_snapshot(self, snapshot: Snapshot) -> None:
+        """Append newly revealed facts (no parameter update)."""
+        self._history[snapshot.time] = snapshot
+        self._invalidate()
+
+    def history_before(self, time: int) -> List[Snapshot]:
+        """The last-k known snapshots strictly before ``time``."""
+        times = sorted(t for t in self._history if t < time)
+        return [self._history[t] for t in times[-self.config.history_length :]]
+
+    def _invalidate(self) -> None:
+        self._predict_cache = None
+        self._version += 1
+
+    def mark_updated(self) -> None:
+        """Called by the trainer after an optimizer step."""
+        self._invalidate()
+
+    def _hyper(self, snapshot: Snapshot) -> HyperSnapshot:
+        key = (snapshot.time, len(snapshot))
+        cached = self._hyper_cache.get(key)
+        if cached is None:
+            cached = build_hyperrelation_graph(snapshot)
+            self._hyper_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Encoder: evolve embeddings along a history window
+    # ------------------------------------------------------------------
+    def evolve(self, history: List[Snapshot]) -> Tuple[List[Tensor], List[Tensor]]:
+        """Run the recurrent encoder over ``history``.
+
+        Returns per-timestamp lists ``([E_t], [R_t])``; when ``history``
+        is empty the initial embeddings are returned as a single step so
+        decoding is always possible.
+        """
+        cfg = self.config
+        m = cfg.num_relations
+        entity = l2_normalize_rows(self.entity_embedding)
+        relation = self.relation_embedding
+        hyper = self.hyper_embedding
+        cell = None
+        hyper_cell = None
+
+        if not history:
+            return [entity], [relation]
+
+        entity_list: List[Tensor] = []
+        relation_list: List[Tensor] = []
+        for snapshot in history:
+            hyper_snapshot = self._hyper(snapshot)
+            relation = self._relation_step(
+                snapshot, hyper_snapshot, entity, relation, hyper, cell, hyper_cell
+            )
+            relation, cell, hyper, hyper_cell = relation
+
+            if cfg.use_eam:
+                eam_relations = (
+                    relation if cfg.use_tim else self.eam_relation_embedding
+                )
+                entity = self.eam(entity, eam_relations, snapshot)
+            # else: entities stay at their (normalised) initial values.
+
+            entity_list.append(entity)
+            relation_list.append(relation)
+        return entity_list, relation_list
+
+    def _relation_step(
+        self,
+        snapshot: Snapshot,
+        hyper_snapshot: HyperSnapshot,
+        entity_prev: Tensor,
+        relation_prev: Tensor,
+        hyper_prev: Tensor,
+        cell: Optional[Tensor],
+        hyper_cell: Optional[Tensor],
+    ) -> Tuple[Tensor, Optional[Tensor], Tensor, Optional[Tensor]]:
+        """One timestamp of the relation pathway under the active mode.
+
+        Returns ``(R_t, C_t, HR_t, HC_t)``.
+        """
+        cfg = self.config
+        mode = cfg.relation_mode
+
+        if mode == "none":
+            # wo. RM / wo. RAM: relations stay at R_0.
+            return self.relation_embedding, cell, hyper_prev, hyper_cell
+
+        if mode == "mp":
+            # w. MP: mean-pooled adjacent entities only (no LSTM, no Agg).
+            entities, relations = snapshot.relation_entity_pairs
+            pooled = F.segment_mean(
+                entity_prev.gather_rows(entities), relations, 2 * cfg.num_relations
+            )
+            return pooled, cell, hyper_prev, hyper_cell
+
+        if not cfg.use_tim:
+            # wo. TIM: the RAM evolves relations without entity input and
+            # with frozen initial hyperrelation embeddings.
+            relation = self.ram(relation_prev, self.hyper_embedding, hyper_snapshot)
+            return relation, cell, self.hyper_embedding, hyper_cell
+
+        # Eq. 7-8: common association constraints.
+        r_mean = self.tim.relation_mean(entity_prev, self.relation_embedding, snapshot)
+        if cell is None:
+            cell = self.tim.lstm.init_state(relation_prev.shape[0])[1]
+        r_lstm, cell = self.tim.lstm(r_mean, (relation_prev, cell))
+
+        if mode == "mp_lstm":
+            # The RE-GCN/TiRGN level: stop before hyperrelation aggregation.
+            return r_lstm, cell, hyper_prev, hyper_cell
+
+        # mode == "full": hyperrelation pathway feeding the RAM (Eq. 9-10).
+        if cfg.hyper_mode == "none":
+            hyper_next, hyper_cell_next = self.hyper_embedding, hyper_cell
+        elif cfg.hyper_mode == "hmp":
+            relations, hyper_types = hyper_snapshot.hyper_relation_pairs
+            hyper_next = F.segment_mean(
+                r_lstm.gather_rows(relations), hyper_types, 2 * NUM_HYPERRELATIONS
+            )
+            hyper_cell_next = hyper_cell
+        else:
+            hr_mean = self.tim.hyper_mean(r_lstm, self.hyper_embedding, hyper_snapshot)
+            if hyper_cell is None:
+                hyper_cell = self.tim.hyper_lstm.init_state(hyper_prev.shape[0])[1]
+            hyper_next, hyper_cell_next = self.tim.hyper_lstm(hr_mean, (hyper_prev, hyper_cell))
+
+        relation = self.ram(r_lstm, hyper_next, hyper_snapshot)
+        return relation, cell, hyper_next, hyper_cell_next
+
+    # ------------------------------------------------------------------
+    # Decoding (Eq. 11-12)
+    # ------------------------------------------------------------------
+    def _entity_probabilities(
+        self, entity_list, relation_list, queries: np.ndarray
+    ) -> List[Tensor]:
+        """Per-historical-snapshot entity probabilities ``p_t^e``."""
+        if not self.config.time_variability:
+            entity_list, relation_list = entity_list[-1:], relation_list[-1:]
+        queries = np.asarray(queries, dtype=np.int64)
+        probs = []
+        for entity, relation in zip(entity_list, relation_list):
+            subj = entity.gather_rows(queries[:, 0])
+            rel = relation.gather_rows(queries[:, 1])
+            probs.append(self.entity_decoder.probabilities(subj, rel, entity))
+        return probs
+
+    def _relation_probabilities(
+        self, entity_list, relation_list, pairs: np.ndarray
+    ) -> List[Tensor]:
+        """Per-historical-snapshot relation probabilities ``p_t^r``."""
+        if not self.config.time_variability:
+            entity_list, relation_list = entity_list[-1:], relation_list[-1:]
+        pairs = np.asarray(pairs, dtype=np.int64)
+        m = self.config.num_relations
+        probs = []
+        for entity, relation in zip(entity_list, relation_list):
+            subj = entity.gather_rows(pairs[:, 0])
+            obj = entity.gather_rows(pairs[:, 1])
+            probs.append(self.relation_decoder.probabilities(subj, obj, relation[:m]))
+        return probs
+
+    @staticmethod
+    def _sum_probs(probs: List[Tensor]) -> np.ndarray:
+        total = probs[0].data.copy()
+        for p in probs[1:]:
+            total += p.data
+        return total
+
+    # ------------------------------------------------------------------
+    # ExtrapolationModel contract
+    # ------------------------------------------------------------------
+    def _evolved_for(self, time: int):
+        cache = self._predict_cache
+        if cache is not None and cache[0] == (time, self._version):
+            return cache[1], cache[2]
+        history = self.history_before(time)
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            entity_list, relation_list = self.evolve(history)
+        if was_training:
+            self.train()
+        self._predict_cache = ((time, self._version), entity_list, relation_list)
+        return entity_list, relation_list
+
+    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+        """Summed per-snapshot probabilities for all N entities."""
+        entity_list, relation_list = self._evolved_for(time)
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            probs = self._entity_probabilities(entity_list, relation_list, queries)
+        if was_training:
+            self.train()
+        return self._sum_probs(probs)
+
+    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+        """Summed per-snapshot probabilities for all M relations."""
+        entity_list, relation_list = self._evolved_for(time)
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            probs = self._relation_probabilities(entity_list, relation_list, pairs)
+        if was_training:
+            self.train()
+        return self._sum_probs(probs)
+
+    def observe(self, snapshot: Snapshot) -> None:
+        """Record revealed facts; online updates are handled by Trainer's
+        :class:`~repro.core.trainer.OnlineAdapter`."""
+        self.record_snapshot(snapshot)
+
+    # ------------------------------------------------------------------
+    # Training loss (Eq. 13-14)
+    # ------------------------------------------------------------------
+    def loss_on_snapshot(self, target: Snapshot) -> Tuple[Tensor, Tensor, Tensor]:
+        """Joint, entity and relation losses for forecasting ``target``.
+
+        Entity queries cover both directions (object and inverse-subject
+        forecasting); relation queries use the forward facts.
+        """
+        cfg = self.config
+        history = self.history_before(target.time)
+        entity_list, relation_list = self.evolve(history)
+
+        triples = target.triples
+        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
+        queries = np.concatenate(
+            [np.stack([s, r], axis=1), np.stack([o, r + cfg.num_relations], axis=1)]
+        )
+        entity_targets = np.concatenate([o, s])
+        entity_probs = self._entity_probabilities(entity_list, relation_list, queries)
+        loss_entity = losses.nll_of_summed_probs(entity_probs, entity_targets)
+
+        pairs = np.stack([s, o], axis=1)
+        relation_probs = self._relation_probabilities(entity_list, relation_list, pairs)
+        loss_relation = losses.nll_of_summed_probs(relation_probs, r)
+
+        joint = loss_entity * cfg.lambda_entity + loss_relation * (1.0 - cfg.lambda_entity)
+        if self.static_constraint is not None and self.static_weight:
+            joint = joint + self.static_constraint.sequence_loss(entity_list) * self.static_weight
+        return joint, loss_entity, loss_relation

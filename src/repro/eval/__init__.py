@@ -1,0 +1,23 @@
+"""Link-prediction evaluation for TKG extrapolation.
+
+Implements the paper's protocol: rank the ground-truth entity/relation
+among all candidates, report MRR and Hits@{1,3,10}.  Entity forecasting
+averages the subject- and object-query directions (following RE-GCN);
+relation forecasting reports MRR.  The paper reports the **raw** setting;
+static-filtered and time-aware-filtered settings are implemented as well
+for completeness.
+"""
+
+from repro.eval.metrics import RankAccumulator, ranks_from_scores
+from repro.eval.filters import FilterIndex
+from repro.eval.interface import ExtrapolationModel
+from repro.eval.protocol import EvaluationResult, evaluate_extrapolation
+
+__all__ = [
+    "RankAccumulator",
+    "ranks_from_scores",
+    "FilterIndex",
+    "ExtrapolationModel",
+    "EvaluationResult",
+    "evaluate_extrapolation",
+]

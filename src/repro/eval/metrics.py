@@ -1,0 +1,86 @@
+"""Ranking metrics: MRR and Hits@k with deterministic tie handling."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+
+def ranks_from_scores(
+    scores: np.ndarray,
+    targets: np.ndarray,
+    filter_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rank of each target among its candidate scores (1 = best).
+
+    Ties are resolved by the *average* rank of the tied block, which is
+    deterministic and unbiased (a model scoring everything equally gets
+    the expected random rank, not rank 1).
+
+    Parameters
+    ----------
+    scores:
+        ``(B, C)`` candidate scores, higher is better.
+    targets:
+        ``(B,)`` index of the ground-truth candidate per row.
+    filter_mask:
+        Optional boolean ``(B, C)``; ``True`` marks candidates to exclude
+        (known true facts under a filtered setting).  The target itself is
+        never excluded.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.ndim != 2 or len(targets) != scores.shape[0]:
+        raise ValueError("scores must be (B, C) with one target per row")
+    if filter_mask is not None:
+        scores = scores.copy()
+        mask = np.asarray(filter_mask, dtype=bool).copy()
+        mask[np.arange(len(targets)), targets] = False
+        scores[mask] = -np.inf
+
+    rows = np.arange(len(targets))
+    target_scores = scores[rows, targets][:, None]
+    greater = (scores > target_scores).sum(axis=1)
+    ties = (scores == target_scores).sum(axis=1) - 1  # excl. the target
+    return 1.0 + greater + ties / 2.0
+
+
+class RankAccumulator:
+    """Streaming accumulator for MRR and Hits@k over many queries."""
+
+    def __init__(self, hits_at: Iterable[int] = (1, 3, 10)):
+        self.hits_at = tuple(sorted(hits_at))
+        self._ranks: list = []
+
+    def update(self, ranks: np.ndarray) -> None:
+        """Append a batch of ranks."""
+        self._ranks.append(np.asarray(ranks, dtype=np.float64))
+
+    @property
+    def count(self) -> int:
+        """Total queries accumulated."""
+        return int(sum(len(r) for r in self._ranks))
+
+    def ranks(self) -> np.ndarray:
+        """All accumulated ranks as one array."""
+        if not self._ranks:
+            return np.zeros(0)
+        return np.concatenate(self._ranks)
+
+    def summary(self) -> Dict[str, float]:
+        """MRR, Hits@k (percent, paper convention) and Mean Rank."""
+        ranks = self.ranks()
+        if not len(ranks):
+            return {
+                "MRR": 0.0,
+                **{f"Hits@{k}": 0.0 for k in self.hits_at},
+                "MR": 0.0,
+                "count": 0,
+            }
+        result = {"MRR": float((1.0 / ranks).mean() * 100.0)}
+        for k in self.hits_at:
+            result[f"Hits@{k}"] = float((ranks <= k).mean() * 100.0)
+        result["MR"] = float(ranks.mean())
+        result["count"] = len(ranks)
+        return result

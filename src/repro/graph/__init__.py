@@ -1,0 +1,36 @@
+"""Temporal-knowledge-graph substrate.
+
+A TKG is a sequence of per-timestamp fact subgraphs.  This subpackage
+provides the storage (:class:`TemporalKG`), the per-timestamp view
+(:class:`Snapshot`) with the inverse-fact convention the paper uses
+(2M relations, in-edges only), and the twin hyperrelation subgraph
+construction of Algorithm 1 (:func:`build_hyperrelation_graph`).
+"""
+
+from repro.graph.quadruple import Quadruple
+from repro.graph.snapshot import Snapshot
+from repro.graph.tkg import TemporalKG
+from repro.graph.hypergraph import (
+    HYPERRELATION_NAMES,
+    NUM_HYPERRELATIONS,
+    HyperSnapshot,
+    build_hyperrelation_graph,
+)
+from repro.graph.nx_export import (
+    hypergraph_to_networkx,
+    relation_connectivity,
+    snapshot_to_networkx,
+)
+
+__all__ = [
+    "Quadruple",
+    "Snapshot",
+    "TemporalKG",
+    "HyperSnapshot",
+    "build_hyperrelation_graph",
+    "HYPERRELATION_NAMES",
+    "NUM_HYPERRELATIONS",
+    "snapshot_to_networkx",
+    "hypergraph_to_networkx",
+    "relation_connectivity",
+]

@@ -1,0 +1,66 @@
+"""networkx views of snapshots and hyperrelation subgraphs.
+
+For interactive exploration and for reusing networkx's algorithm
+library (components, centrality, shortest paths) on TKG data.  These
+are analysis conveniences; the model code never goes through networkx.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graph.hypergraph import HYPERRELATION_NAMES, NUM_HYPERRELATIONS, HyperSnapshot
+from repro.graph.snapshot import Snapshot
+
+
+def snapshot_to_networkx(snapshot: Snapshot, include_inverse: bool = False) -> nx.MultiDiGraph:
+    """A :class:`networkx.MultiDiGraph` of one timestamp.
+
+    Nodes are entity ids; each fact is an edge keyed by its relation id
+    (stored in the ``relation`` edge attribute).  With
+    ``include_inverse`` the doubled edge list is exported instead.
+    """
+    graph = nx.MultiDiGraph(time=snapshot.time)
+    graph.add_nodes_from(range(snapshot.num_entities))
+    edges = snapshot.edges_with_inverse if include_inverse else snapshot.triples
+    for s, r, o in edges:
+        graph.add_edge(int(s), int(o), relation=int(r))
+    return graph
+
+
+def hypergraph_to_networkx(hyper: HyperSnapshot, include_inverse: bool = False) -> nx.MultiDiGraph:
+    """A :class:`networkx.MultiDiGraph` of a twin hyperrelation subgraph.
+
+    Nodes are relation ids; edges carry ``hyper_type`` (int) and
+    ``hyper_name`` (e.g. ``"o-s"``).  Inverse hyperedges (types >= H)
+    are skipped unless ``include_inverse``.
+    """
+    graph = nx.MultiDiGraph(time=hyper.time)
+    graph.add_nodes_from(range(hyper.num_relation_nodes))
+    for src, htype, dst in hyper.edges:
+        htype = int(htype)
+        if not include_inverse and htype >= NUM_HYPERRELATIONS:
+            continue
+        name = HYPERRELATION_NAMES[htype % NUM_HYPERRELATIONS]
+        if htype >= NUM_HYPERRELATIONS:
+            name += "^-1"
+        graph.add_edge(int(src), int(dst), hyper_type=htype, hyper_name=name)
+    return graph
+
+
+def relation_connectivity(hyper: HyperSnapshot) -> dict:
+    """Summary of how connected the relation nodes are at this timestamp.
+
+    Returns the number of active relation nodes, the number of weakly
+    connected components among them, and the size of the largest — a
+    direct measure of the "message islands" the RAM bridges.
+    """
+    graph = hypergraph_to_networkx(hyper, include_inverse=True)
+    active = [n for n in graph.nodes if graph.degree(n) > 0]
+    subgraph = graph.subgraph(active)
+    components = list(nx.weakly_connected_components(subgraph)) if active else []
+    return {
+        "active_relations": len(active),
+        "components": len(components),
+        "largest_component": max((len(c) for c in components), default=0),
+    }

@@ -1,0 +1,27 @@
+"""The atomic TKG fact: a (subject, relation, object, time) quadruple."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Quadruple(NamedTuple):
+    """A timestamped fact ``(s, r, o, t)``.
+
+    All fields are integer ids into the dataset vocabularies.  Inverse
+    facts are *not* stored as quadruples; they are materialised per
+    snapshot (see :meth:`repro.graph.Snapshot.edges_with_inverse`).
+    """
+
+    subject: int
+    relation: int
+    object: int
+    time: int
+
+    def inverse(self, num_relations: int) -> "Quadruple":
+        """The inverse fact ``(o, r + M, s, t)`` given ``M`` relations."""
+        return Quadruple(self.object, self.relation + num_relations, self.subject, self.time)
+
+    def as_triple(self) -> tuple:
+        """Drop the timestamp: ``(s, r, o)``."""
+        return (self.subject, self.relation, self.object)

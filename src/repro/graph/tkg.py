@@ -1,0 +1,147 @@
+"""Temporal knowledge graph container and chronological splits."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.quadruple import Quadruple
+from repro.graph.snapshot import Snapshot
+
+
+class TemporalKG:
+    """A set of quadruples plus vocabulary sizes, viewed as snapshots.
+
+    Parameters
+    ----------
+    quadruples:
+        ``(F, 4)`` int array of ``(s, r, o, t)`` rows (or an iterable of
+        :class:`Quadruple`).  Rows are sorted by timestamp on ingestion.
+    num_entities, num_relations:
+        Vocabulary sizes ``N`` and ``M`` (non-inverse relations).
+    granularity:
+        Human-readable timestamp step ("24 hours", "1 year"), used in the
+        Table V statistics only.
+    """
+
+    def __init__(
+        self,
+        quadruples,
+        num_entities: int,
+        num_relations: int,
+        granularity: str = "1 step",
+    ):
+        facts = np.asarray(
+            [tuple(q) for q in quadruples] if not isinstance(quadruples, np.ndarray) else quadruples,
+            dtype=np.int64,
+        ).reshape(-1, 4)
+        order = np.argsort(facts[:, 3], kind="stable")
+        self.facts = facts[order]
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.granularity = granularity
+        if len(self.facts):
+            if self.facts[:, [0, 2]].max() >= num_entities:
+                raise ValueError("entity id out of range")
+            if self.facts[:, 1].max() >= num_relations:
+                raise ValueError("relation id out of range")
+            if self.facts.min() < 0:
+                raise ValueError("negative ids are not allowed")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalKG(facts={len(self)}, entities={self.num_entities}, "
+            f"relations={self.num_relations}, timestamps={self.num_timestamps})"
+        )
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Sorted unique timestamps present in the data."""
+        return np.unique(self.facts[:, 3]) if len(self.facts) else np.zeros(0, dtype=np.int64)
+
+    @property
+    def num_timestamps(self) -> int:
+        """Number of distinct timestamps with facts."""
+        return len(self.timestamps)
+
+    def quadruples(self) -> List[Quadruple]:
+        """The facts as :class:`Quadruple` records."""
+        return [Quadruple(*row) for row in self.facts]
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+    def snapshot(self, time: int) -> Snapshot:
+        """The subgraph ``G_t`` (possibly empty) at timestamp ``time``."""
+        mask = self.facts[:, 3] == time
+        return Snapshot(self.facts[mask][:, :3], self.num_entities, self.num_relations, time)
+
+    def snapshots(self, times: Optional[Iterable[int]] = None) -> List[Snapshot]:
+        """Snapshots for ``times`` (default: every timestamp present)."""
+        if times is None:
+            times = self.timestamps
+        return [self.snapshot(int(t)) for t in times]
+
+    def history(self, time: int, k: int) -> List[Snapshot]:
+        """The ``k``-length history ``[G_{time-k} .. G_{time-1}]``.
+
+        Timestamps before 0 are skipped, so the returned list can be
+        shorter than ``k`` near the start of the data.
+        """
+        start = max(0, time - k)
+        return [self.snapshot(t) for t in range(start, time)]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def to_static(self) -> np.ndarray:
+        """Collapse time: unique ``(s, r, o)`` triples across all timestamps.
+
+        This is the view the paper's static baselines train on ("we
+        removed the time dimension from all the TKG datasets").
+        """
+        if not len(self.facts):
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.unique(self.facts[:, :3], axis=0)
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def split(
+        self, proportions: Sequence[float] = (0.8, 0.1, 0.1)
+    ) -> Tuple["TemporalKG", "TemporalKG", "TemporalKG"]:
+        """Chronological train/valid/test split by *timestamp* boundaries.
+
+        Following RE-GCN and the paper, facts are split along the time
+        axis (all facts of a timestamp land in the same split) using
+        cumulative fact-count proportions.
+        """
+        if len(proportions) != 3 or abs(sum(proportions) - 1.0) > 1e-9:
+            raise ValueError("proportions must be three values summing to 1")
+        times = self.timestamps
+        counts = np.array([(self.facts[:, 3] == t).sum() for t in times], dtype=np.float64)
+        cumulative = np.cumsum(counts) / counts.sum()
+        train_end = int(np.searchsorted(cumulative, proportions[0]) + 1)
+        valid_end = int(np.searchsorted(cumulative, proportions[0] + proportions[1]) + 1)
+        train_end = min(max(train_end, 1), len(times) - 2)
+        valid_end = min(max(valid_end, train_end + 1), len(times) - 1)
+
+        def subset(selected_times: np.ndarray) -> "TemporalKG":
+            mask = np.isin(self.facts[:, 3], selected_times)
+            return TemporalKG(
+                self.facts[mask], self.num_entities, self.num_relations, self.granularity
+            )
+
+        return (
+            subset(times[:train_end]),
+            subset(times[train_end:valid_end]),
+            subset(times[valid_end:]),
+        )

@@ -1,0 +1,112 @@
+"""Persistence: model checkpoints (.npz) and TKG import/export (TSV).
+
+Checkpoints store a module's ``state_dict`` plus a JSON-encoded config
+blob, so a model can be rebuilt and resumed in a fresh process.  TKGs
+round-trip through the common 4-column TSV layout used by the public
+TKG benchmark dumps (``subject<TAB>relation<TAB>object<TAB>time``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph import TemporalKG
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(path: str, state: Dict[str, np.ndarray], config=None) -> None:
+    """Write a state dict (and optional config dataclass/dict) to ``path``.
+
+    Parameters
+    ----------
+    path:
+        Target ``.npz`` file; parent directories are created.
+    state:
+        A module's ``state_dict()``.
+    config:
+        Optional dataclass or plain dict stored alongside the arrays so
+        :func:`load_checkpoint` can rebuild the model.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = dict(state)
+    if _CONFIG_KEY in payload:
+        raise ValueError(f"state must not contain the reserved key {_CONFIG_KEY!r}")
+    if config is not None:
+        blob = asdict(config) if is_dataclass(config) else dict(config)
+        payload[_CONFIG_KEY] = np.frombuffer(
+            json.dumps(blob).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], Optional[dict]]:
+    """Read back ``(state_dict, config_dict_or_None)`` from ``path``."""
+    with np.load(path) as archive:
+        config = None
+        state = {}
+        for key in archive.files:
+            if key == _CONFIG_KEY:
+                config = json.loads(bytes(archive[key]).decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, config
+
+
+def save_tkg_tsv(path: str, graph: TemporalKG) -> None:
+    """Export a TKG as 4-column TSV with a ``# header`` carrying sizes."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        # Spaces in the granularity label are escaped as underscores so
+        # the header stays whitespace-tokenisable.
+        granularity = graph.granularity.replace(" ", "_")
+        fh.write(
+            f"# entities={graph.num_entities} relations={graph.num_relations} "
+            f"granularity={granularity}\n"
+        )
+        for s, r, o, t in graph.facts:
+            fh.write(f"{s}\t{r}\t{o}\t{t}\n")
+
+
+def load_tkg_tsv(
+    path: str,
+    num_entities: Optional[int] = None,
+    num_relations: Optional[int] = None,
+) -> TemporalKG:
+    """Import a TKG from TSV.
+
+    Vocabulary sizes come from the ``#`` header when present; otherwise
+    they must be passed (or are inferred as max id + 1).
+    """
+    facts = []
+    granularity = "1 step"
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    key, _, value = token.partition("=")
+                    if key == "entities":
+                        num_entities = num_entities or int(value)
+                    elif key == "relations":
+                        num_relations = num_relations or int(value)
+                    elif key == "granularity":
+                        granularity = value.replace("_", " ")
+                continue
+            s, r, o, t = (int(x) for x in line.split("\t"))
+            facts.append((s, r, o, t))
+    array = np.asarray(facts, dtype=np.int64).reshape(-1, 4)
+    if num_entities is None:
+        num_entities = int(array[:, [0, 2]].max()) + 1 if len(array) else 0
+    if num_relations is None:
+        num_relations = int(array[:, 1].max()) + 1 if len(array) else 0
+    return TemporalKG(array, num_entities, num_relations, granularity)

@@ -1,0 +1,65 @@
+"""Loss functions.
+
+The paper trains entity and relation forecasting as N-/M-label
+classification with cross entropy over *summed* per-snapshot decoder
+probabilities (Eq. 13–14).  :func:`nll_of_summed_probs` implements that
+time-variability loss; :func:`cross_entropy` is the ordinary single-logit
+version used by the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross entropy of integer ``targets`` under ``logits`` rows."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = F.log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    picked = log_probs[(rows, targets)]
+    return -picked.mean()
+
+
+def nll_of_summed_probs(prob_snapshots: Sequence[Tensor], targets: np.ndarray, eps: float = 1e-12) -> Tensor:
+    """Time-variability loss: ``-mean(log(sum_t p_t[target]))``.
+
+    Parameters
+    ----------
+    prob_snapshots:
+        One ``(B, num_classes)`` probability tensor per historical
+        snapshot (already softmax-normalised, Eq. 11–12).
+    targets:
+        Ground-truth class index per row.
+    """
+    if not prob_snapshots:
+        raise ValueError("need at least one probability snapshot")
+    targets = np.asarray(targets, dtype=np.int64)
+    total = prob_snapshots[0]
+    for p in prob_snapshots[1:]:
+        total = total + p
+    rows = np.arange(len(targets))
+    picked = total[(rows, targets)] + eps
+    return -picked.log().mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Multi-label BCE from logits; ``targets`` is a {0,1} array."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    # log(sigmoid(x)) = -softplus(-x); log(1-sigmoid(x)) = -softplus(x)
+    probs = logits.sigmoid().clip(1e-12, 1.0 - 1e-12)
+    loss = -(targets_t * probs.log() + (1.0 - targets_t) * (1.0 - probs).log())
+    return loss.mean()
+
+
+def margin_ranking_loss(positive: Tensor, negative: Tensor, margin: float = 1.0) -> Tensor:
+    """TransE-style hinge: ``mean(relu(margin + pos_dist - neg_dist))``.
+
+    ``positive``/``negative`` hold *distances* (lower is better).
+    """
+    return (positive - negative + margin).relu().mean()

@@ -1,0 +1,22 @@
+"""Small shared helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def l2_normalize_rows(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Row-wise L2 normalisation (differentiable).
+
+    RE-GCN-style encoders normalise the initial entity embeddings before
+    evolving them; RETIA follows suit.
+    """
+    squared = (x * x).sum(axis=-1, keepdims=True)
+    return x * ((squared + eps) ** -0.5)
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A fresh deterministic generator (one per component, never shared)."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,139 @@
+"""Edge-case and stress tests for the autograd substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+
+
+class TestBroadcastingGradients:
+    def test_scalar_broadcast_to_matrix(self):
+        a = Tensor(np.array(2.0), requires_grad=True)
+        b = Tensor(np.ones((3, 4)))
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, 12.0)
+
+    def test_row_broadcast(self):
+        row = Tensor(np.ones((1, 4)), requires_grad=True)
+        full = Tensor(np.ones((3, 4)))
+        (row + full).sum().backward()
+        np.testing.assert_array_equal(row.grad, np.full((1, 4), 3.0))
+
+    def test_column_broadcast(self):
+        col = Tensor(np.ones((3, 1)), requires_grad=True)
+        full = Tensor(np.ones((3, 4)))
+        (col * full).sum().backward()
+        np.testing.assert_array_equal(col.grad, np.full((3, 1), 4.0))
+
+    def test_double_broadcast_mul(self):
+        a = Tensor(np.ones((3, 1)), requires_grad=True)
+        b = Tensor(np.ones((1, 4)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full((3, 1), 4.0))
+        np.testing.assert_array_equal(b.grad, np.full((1, 4), 3.0))
+
+
+class TestNumericalStability:
+    def test_log_softmax_no_overflow_at_extremes(self):
+        x = Tensor(np.array([[1e4, -1e4]]), requires_grad=True)
+        out = F.log_softmax(x)
+        assert np.all(np.isfinite(out.data))
+        out.sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+    def test_exp_then_log_roundtrip_gradient(self):
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        x.exp().log().sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0], atol=1e-12)
+
+    def test_division_by_small_numbers(self):
+        x = Tensor(np.array([1e-10]), requires_grad=True)
+        (1.0 / x).sum().backward()
+        assert np.isfinite(x.grad[0])
+
+    def test_tanh_saturation_gradient_vanishes(self):
+        x = Tensor(np.array([100.0]), requires_grad=True)
+        x.tanh().sum().backward()
+        assert abs(x.grad[0]) < 1e-10
+
+
+class TestGraphReuseSafety:
+    def test_second_backward_through_same_graph_is_noop(self):
+        """The graph is freed after backward; re-calling backward on the
+        same output must not double-accumulate into leaves."""
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3).sum()
+        y.backward()
+        first = x.grad.copy()
+        y.backward()  # graph already freed: no further accumulation
+        np.testing.assert_array_equal(x.grad, first)
+
+    def test_leaf_used_in_two_graphs(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 5).sum().backward()
+        np.testing.assert_array_equal(x.grad, [7.0])
+
+    def test_no_grad_inside_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2
+        with no_grad():
+            z = y * 3  # recorded graph stops here
+        w = y.sum()
+        w.backward()
+        np.testing.assert_array_equal(x.grad, [2.0])
+        assert not z.requires_grad
+
+
+class TestZeroSizedInputs:
+    def test_empty_matmul(self):
+        a = Tensor(np.zeros((0, 4)), requires_grad=True)
+        b = Tensor(np.zeros((4, 3)))
+        out = a @ b
+        assert out.shape == (0, 3)
+
+    def test_empty_scatter_targets(self):
+        src = Tensor(np.zeros((0, 4)))
+        out = F.scatter_add(src, np.zeros(0, dtype=np.int64), 5)
+        np.testing.assert_array_equal(out.data, np.zeros((5, 4)))
+
+    def test_empty_concat_segment(self):
+        a = Tensor(np.zeros((0, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = F.concat([a, b], axis=0)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (0, 2)
+
+
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_sum_of_parts_equals_whole_gradient(shape, seed):
+    """Splitting a tensor and summing the parts must give the same
+    gradient as summing the whole."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    whole = Tensor(data.copy(), requires_grad=True)
+    whole.sum().backward()
+
+    split = Tensor(data.copy(), requires_grad=True)
+    (split[: shape[0] // 2].sum() + split[shape[0] // 2 :].sum()).backward()
+    np.testing.assert_allclose(whole.grad, split.grad)
+
+
+@given(seed=st.integers(0, 500), k=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_property_probability_snapshots_sum_below_k(seed, k):
+    """Summed softmax snapshots (Eq. 13) total exactly k per row."""
+    rng = np.random.default_rng(seed)
+    total = None
+    for _ in range(k):
+        p = F.softmax(Tensor(rng.normal(size=(3, 7))))
+        total = p if total is None else total + p
+    np.testing.assert_allclose(total.data.sum(axis=1), np.full(3, float(k)), atol=1e-9)

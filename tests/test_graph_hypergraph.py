@@ -1,0 +1,185 @@
+"""Tests for Algorithm 1: twin hyperrelation subgraph construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    HYPERRELATION_NAMES,
+    NUM_HYPERRELATIONS,
+    Snapshot,
+    build_hyperrelation_graph,
+)
+
+
+def make_snapshot(triples, num_entities=8, num_relations=4, time=0):
+    return Snapshot(np.array(triples), num_entities, num_relations, time)
+
+
+def hyperedges_of_type(hyper, htype):
+    mask = hyper.edges[:, 1] == htype
+    return {(int(a), int(b)) for a, _, b in hyper.edges[mask]}
+
+
+class TestHyperrelationTypes:
+    def test_names_and_count(self):
+        assert HYPERRELATION_NAMES == ("o-s", "s-o", "o-o", "s-s")
+        assert NUM_HYPERRELATIONS == 4
+
+    def test_o_s_chain(self):
+        """(0, r0, 1) then (1, r1, 2): object of r0 is subject of r1 -> o-s."""
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        assert (0, 1) in hyperedges_of_type(hyper, 0)
+
+    def test_s_o_reverse_chain(self):
+        """Subject of r1 (=1) is object of r0 -> s-o edge from r1 to r0."""
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        assert (1, 0) in hyperedges_of_type(hyper, 1)
+
+    def test_o_o_common_object(self):
+        snap = make_snapshot([[0, 0, 2], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        oo = hyperedges_of_type(hyper, 2)
+        assert (0, 1) in oo
+        assert (1, 0) in oo
+
+    def test_s_s_common_subject(self):
+        snap = make_snapshot([[0, 0, 1], [0, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        ss = hyperedges_of_type(hyper, 3)
+        assert (0, 1) in ss
+
+    def test_o_o_diagonal_zeroed(self):
+        """A single relation with a shared object must NOT self-loop."""
+        snap = make_snapshot([[0, 0, 2], [1, 0, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        oo = hyperedges_of_type(hyper, 2)
+        assert (0, 0) not in oo
+
+    def test_s_s_diagonal_zeroed(self):
+        snap = make_snapshot([[0, 0, 1], [0, 0, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        ss = hyperedges_of_type(hyper, 3)
+        assert (0, 0) not in ss
+
+    def test_o_s_self_loop_allowed(self):
+        """o-s may connect a relation to itself (a genuine chain r->r);
+        per Alg. 1 only the o-o and s-s diagonals are zeroed."""
+        snap = make_snapshot([[0, 0, 1], [1, 0, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        assert (0, 0) in hyperedges_of_type(hyper, 0)
+
+
+class TestInverseHyperedges:
+    def test_every_forward_edge_has_inverse(self):
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2], [0, 2, 3]])
+        hyper = build_hyperrelation_graph(snap)
+        for htype in range(NUM_HYPERRELATIONS):
+            forward = hyperedges_of_type(hyper, htype)
+            inverse = hyperedges_of_type(hyper, htype + NUM_HYPERRELATIONS)
+            assert inverse == {(b, a) for a, b in forward}
+
+    def test_hyper_types_cover_2h(self):
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        assert hyper.edges[:, 1].max() < 2 * NUM_HYPERRELATIONS
+
+
+class TestRelationNodeSpace:
+    def test_nodes_are_doubled_relations(self):
+        snap = make_snapshot([[0, 1, 2]], num_relations=4)
+        hyper = build_hyperrelation_graph(snap)
+        assert hyper.num_relation_nodes == 8
+
+    def test_inverse_relations_are_not_hypergraph_sources(self):
+        """Algorithm 1 traverses the original quadruples, so hyperedges
+        connect only the original relations [0, M); inverse relations
+        evolve through the TIM/R-GRU path instead.  (Building over the
+        doubled edges would give every relation a trivial o-s edge to
+        its own inverse.)"""
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]], num_relations=4)
+        hyper = build_hyperrelation_graph(snap)
+        if len(hyper.edges):
+            assert hyper.edges[:, [0, 2]].max() < 4
+
+    def test_no_trivial_self_inverse_edges(self):
+        snap = make_snapshot([[0, 0, 1]], num_relations=4)
+        hyper = build_hyperrelation_graph(snap)
+        pairs = {(int(a), int(b)) for a, _, b in hyper.edges}
+        assert (0, 4) not in pairs
+        assert (4, 0) not in pairs
+
+
+class TestEmptyAndNorm:
+    def test_empty_snapshot(self):
+        snap = make_snapshot(np.zeros((0, 3)))
+        hyper = build_hyperrelation_graph(snap)
+        assert hyper.is_empty
+        assert hyper.edge_norm.shape == (0,)
+        rels, hts = hyper.hyper_relation_pairs
+        assert len(rels) == 0 and len(hts) == 0
+
+    def test_edge_norm_normalises_indegree(self):
+        # Two relations both o-s-adjacent to relation 2.
+        snap = make_snapshot([[0, 0, 2], [1, 1, 2], [2, 2, 3]])
+        hyper = build_hyperrelation_graph(snap)
+        edges, norms = hyper.edges, hyper.edge_norm
+        mask = (edges[:, 2] == 2) & (edges[:, 1] == 0)
+        count = mask.sum()
+        assert count >= 2  # at least relations 0 and 1 reach relation 2
+        np.testing.assert_allclose(norms[mask], 1.0 / count)
+
+    def test_hyper_relation_pairs_dedup(self):
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2], [2, 0, 3]])
+        hyper = build_hyperrelation_graph(snap)
+        rels, hts = hyper.hyper_relation_pairs
+        stacked = np.stack([rels, hts], axis=1)
+        assert len(stacked) == len(np.unique(stacked, axis=0))
+
+    def test_repr(self):
+        snap = make_snapshot([[0, 0, 1]])
+        assert "hyperedges" in repr(build_hyperrelation_graph(snap))
+
+
+class TestDuplicateWitnesses:
+    def test_multiple_shared_entities_collapse_to_one_edge(self):
+        """Two distinct bridging entities between the same relation pair
+        still produce a single hyperedge (binarised adjacency)."""
+        snap = make_snapshot([[0, 0, 2], [0, 0, 3], [1, 1, 2], [1, 1, 3]])
+        hyper = build_hyperrelation_graph(snap)
+        oo = [tuple(e) for e in hyper.edges if e[1] == 2]
+        assert len(oo) == len(set(oo))
+
+
+@given(
+    n_facts=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_hyperedges_witnessed_by_entity(n_facts, seed):
+    """Property: every o-s hyperedge has a witnessing bridge entity that
+    is the object of the source relation and the subject of the target."""
+    rng = np.random.default_rng(seed)
+    triples = np.stack(
+        [
+            rng.integers(0, 6, size=n_facts),
+            rng.integers(0, 3, size=n_facts),
+            rng.integers(0, 6, size=n_facts),
+        ],
+        axis=1,
+    )
+    snap = Snapshot(triples, num_entities=6, num_relations=3, time=0)
+    hyper = build_hyperrelation_graph(snap)
+    objects_of = {}
+    subjects_of = {}
+    for s, r, o in snap.triples:
+        objects_of.setdefault(int(r), set()).add(int(o))
+        subjects_of.setdefault(int(r), set()).add(int(s))
+    for r_src, htype, r_dst in hyper.edges:
+        if htype != 0:  # o-s only
+            continue
+        bridge = objects_of.get(int(r_src), set()) & subjects_of.get(int(r_dst), set())
+        assert bridge, f"o-s edge {r_src}->{r_dst} has no witnessing entity"

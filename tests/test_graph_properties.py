@@ -1,0 +1,103 @@
+"""Cross-cutting property tests over the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    NUM_HYPERRELATIONS,
+    Snapshot,
+    TemporalKG,
+    build_hyperrelation_graph,
+)
+
+
+def random_snapshot(rng, n_facts, num_entities=8, num_relations=3):
+    triples = np.stack(
+        [
+            rng.integers(0, num_entities, size=n_facts),
+            rng.integers(0, num_relations, size=n_facts),
+            rng.integers(0, num_entities, size=n_facts),
+        ],
+        axis=1,
+    )
+    return Snapshot(triples, num_entities, num_relations, time=0)
+
+
+@given(n_facts=st.integers(1, 30), seed=st.integers(0, 2000))
+@settings(max_examples=40, deadline=None)
+def test_property_edge_norms_sum_to_indegree_groups(n_facts, seed):
+    """For every (dst, rel) group, the per-edge norms sum to exactly 1."""
+    snap = random_snapshot(np.random.default_rng(seed), n_facts)
+    edges = snap.edges_with_inverse
+    norms = snap.edge_norm
+    keys = edges[:, 2] * 1000 + edges[:, 1]
+    for key in np.unique(keys):
+        np.testing.assert_allclose(norms[keys == key].sum(), 1.0, atol=1e-9)
+
+
+@given(n_facts=st.integers(1, 25), seed=st.integers(0, 2000))
+@settings(max_examples=40, deadline=None)
+def test_property_hypergraph_symmetric_under_inverse_types(n_facts, seed):
+    """Hyperedge set of type h+H is exactly the reversed set of type h."""
+    snap = random_snapshot(np.random.default_rng(seed), n_facts)
+    hyper = build_hyperrelation_graph(snap)
+    for htype in range(NUM_HYPERRELATIONS):
+        forward = {(int(a), int(b)) for a, t, b in hyper.edges if t == htype}
+        inverse = {(int(a), int(b)) for a, t, b in hyper.edges if t == htype + NUM_HYPERRELATIONS}
+        assert inverse == {(b, a) for a, b in forward}
+
+
+@given(n_facts=st.integers(1, 25), seed=st.integers(0, 2000))
+@settings(max_examples=40, deadline=None)
+def test_property_os_so_duality(n_facts, seed):
+    """o-s from r1 to r2 holds iff s-o holds from r2 to r1."""
+    snap = random_snapshot(np.random.default_rng(seed), n_facts)
+    hyper = build_hyperrelation_graph(snap)
+    os_edges = {(int(a), int(b)) for a, t, b in hyper.edges if t == 0}
+    so_edges = {(int(a), int(b)) for a, t, b in hyper.edges if t == 1}
+    assert so_edges == {(b, a) for a, b in os_edges}
+
+
+@given(
+    extra_facts=st.integers(0, 32),
+    n_times=st.integers(3, 8),
+    seed=st.integers(0, 2000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_split_partitions_time(extra_facts, n_times, seed):
+    # split() needs at least 3 distinct timestamps, so every timestamp
+    # 0..n_times-1 gets one guaranteed fact plus `extra_facts` random ones.
+    rng = np.random.default_rng(seed)
+    n_facts = n_times + extra_facts
+    facts = np.stack(
+        [
+            rng.integers(0, 10, size=n_facts),
+            rng.integers(0, 3, size=n_facts),
+            rng.integers(0, 10, size=n_facts),
+            np.concatenate(
+                [np.arange(n_times), rng.integers(0, n_times, size=extra_facts)]
+            ),
+        ],
+        axis=1,
+    )
+    graph = TemporalKG(facts, 10, 3)
+    train, valid, test = graph.split((0.6, 0.2, 0.2))
+    assert len(train) + len(valid) + len(test) == len(graph)
+    if len(valid):
+        assert train.facts[:, 3].max() < valid.facts[:, 3].min()
+    if len(test) and len(valid):
+        assert valid.facts[:, 3].max() < test.facts[:, 3].min()
+
+
+@given(n_facts=st.integers(1, 30), seed=st.integers(0, 2000))
+@settings(max_examples=30, deadline=None)
+def test_property_relation_entity_pairs_cover_active_relations(n_facts, seed):
+    """Every relation occurring in the snapshot (and its inverse) has at
+    least one pooled entity in E_r^t."""
+    snap = random_snapshot(np.random.default_rng(seed), n_facts)
+    _, relations = snap.relation_entity_pairs
+    present = set(relations.tolist())
+    for r in snap.active_relations:
+        assert int(r) in present
+        assert int(r) + snap.num_relations in present

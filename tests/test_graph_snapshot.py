@@ -1,0 +1,121 @@
+"""Tests for Snapshot: inverse facts, normalisers, pooling indices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Snapshot
+
+
+def make_snapshot(triples, num_entities=6, num_relations=3, time=0):
+    return Snapshot(np.array(triples), num_entities, num_relations, time)
+
+
+class TestConstruction:
+    def test_basic(self):
+        snap = make_snapshot([[0, 1, 2]])
+        assert len(snap) == 1
+        assert not snap.is_empty
+        assert "t=0" in repr(snap)
+
+    def test_empty(self):
+        snap = make_snapshot(np.zeros((0, 3)))
+        assert snap.is_empty
+        assert snap.edges_with_inverse.shape == (0, 3)
+        assert snap.edge_norm.shape == (0,)
+        assert len(snap.active_entities) == 0
+        assert len(snap.active_relations) == 0
+
+    def test_entity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_snapshot([[0, 1, 99]])
+
+    def test_relation_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_snapshot([[0, 99, 2]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_snapshot([[-1, 0, 2]])
+
+
+class TestInverseEdges:
+    def test_doubles_edges(self):
+        snap = make_snapshot([[0, 1, 2], [3, 0, 4]])
+        edges = snap.edges_with_inverse
+        assert edges.shape == (4, 3)
+
+    def test_inverse_relation_offset(self):
+        snap = make_snapshot([[0, 1, 2]], num_relations=3)
+        edges = snap.edges_with_inverse
+        # Forward: 0 -(1)-> 2 ; inverse: 2 -(1+3)-> 0
+        np.testing.assert_array_equal(edges[0], [0, 1, 2])
+        np.testing.assert_array_equal(edges[1], [2, 4, 0])
+
+    def test_relation_ids_cover_2m(self):
+        snap = make_snapshot([[0, 2, 1]], num_relations=3)
+        assert snap.edges_with_inverse[:, 1].max() == 2 + 3
+
+
+class TestEdgeNorm:
+    def test_single_edge_norm_is_one(self):
+        snap = make_snapshot([[0, 1, 2]])
+        np.testing.assert_array_equal(snap.edge_norm, [1.0, 1.0])
+
+    def test_two_neighbors_same_relation(self):
+        # Both 0 and 3 point at 2 via relation 1 -> c_{2,1} = 2.
+        snap = make_snapshot([[0, 1, 2], [3, 1, 2]])
+        edges = snap.edges_with_inverse
+        norms = snap.edge_norm
+        to_two = (edges[:, 2] == 2) & (edges[:, 1] == 1)
+        np.testing.assert_allclose(norms[to_two], 0.5)
+
+    def test_norm_groups_by_relation(self):
+        # Same destination, different relations -> each c = 1.
+        snap = make_snapshot([[0, 1, 2], [3, 0, 2]])
+        edges = snap.edges_with_inverse
+        norms = snap.edge_norm
+        forward = edges[:, 2] == 2
+        np.testing.assert_allclose(norms[forward], 1.0)
+
+    def test_norm_inverse_direction_counted_separately(self):
+        snap = make_snapshot([[0, 1, 2], [0, 1, 3]])
+        edges = snap.edges_with_inverse
+        norms = snap.edge_norm
+        # Inverse edges: 2 -(4)-> 0 and 3 -(4)-> 0 share dst 0, rel 4.
+        inverse = edges[:, 1] == 4
+        np.testing.assert_allclose(norms[inverse], 0.5)
+
+
+class TestActiveSets:
+    def test_active_entities(self):
+        snap = make_snapshot([[0, 1, 2], [3, 1, 2]])
+        np.testing.assert_array_equal(snap.active_entities, [0, 2, 3])
+
+    def test_active_relations_excludes_inverse(self):
+        snap = make_snapshot([[0, 2, 1]])
+        np.testing.assert_array_equal(snap.active_relations, [2])
+
+
+class TestRelationEntityPairs:
+    def test_pairs_cover_both_directions(self):
+        snap = make_snapshot([[0, 1, 2]], num_relations=3)
+        entities, relations = snap.relation_entity_pairs
+        pairs = set(zip(entities.tolist(), relations.tolist()))
+        # relation 1 touches entities 0 and 2; inverse relation 4 too.
+        assert (0, 1) in pairs
+        assert (2, 1) in pairs
+        assert (0, 4) in pairs
+        assert (2, 4) in pairs
+
+    def test_pairs_deduplicated(self):
+        # Entity 2 is object of both facts with relation 1 -> one pair.
+        snap = make_snapshot([[0, 1, 2], [3, 1, 2]])
+        entities, relations = snap.relation_entity_pairs
+        stacked = np.stack([entities, relations], axis=1)
+        assert len(stacked) == len(np.unique(stacked, axis=0))
+
+    def test_empty_pairs(self):
+        snap = make_snapshot(np.zeros((0, 3)))
+        entities, relations = snap.relation_entity_pairs
+        assert len(entities) == 0
+        assert len(relations) == 0

@@ -1,0 +1,130 @@
+"""Tests for TemporalKG: storage, snapshots, history, splits."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Quadruple, TemporalKG
+
+
+def make_tkg():
+    facts = [
+        (0, 0, 1, 0),
+        (1, 1, 2, 0),
+        (0, 0, 1, 1),
+        (2, 1, 3, 1),
+        (3, 0, 4, 2),
+        (0, 1, 2, 3),
+        (1, 0, 3, 4),
+    ]
+    return TemporalKG(facts, num_entities=5, num_relations=2)
+
+
+class TestConstruction:
+    def test_sorted_by_time(self):
+        shuffled = [(1, 0, 2, 3), (0, 0, 1, 0), (2, 1, 3, 1)]
+        tkg = TemporalKG(shuffled, 5, 2)
+        assert np.all(np.diff(tkg.facts[:, 3]) >= 0)
+
+    def test_from_quadruples(self):
+        quads = [Quadruple(0, 0, 1, 0), Quadruple(1, 1, 2, 1)]
+        tkg = TemporalKG(quads, 3, 2)
+        assert len(tkg) == 2
+
+    def test_out_of_range_entities_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalKG([(0, 0, 10, 0)], 3, 2)
+
+    def test_out_of_range_relations_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalKG([(0, 5, 1, 0)], 3, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalKG([(0, 0, 1, -1)], 3, 2)
+
+    def test_repr(self):
+        assert "facts=7" in repr(make_tkg())
+
+
+class TestQuadrupleHelpers:
+    def test_inverse(self):
+        q = Quadruple(0, 1, 2, 5)
+        assert q.inverse(4) == Quadruple(2, 5, 0, 5)
+
+    def test_as_triple(self):
+        assert Quadruple(0, 1, 2, 5).as_triple() == (0, 1, 2)
+
+    def test_quadruples_roundtrip(self):
+        tkg = make_tkg()
+        assert len(tkg.quadruples()) == len(tkg)
+
+
+class TestSnapshots:
+    def test_snapshot_content(self):
+        tkg = make_tkg()
+        snap = tkg.snapshot(0)
+        assert len(snap) == 2
+        assert snap.time == 0
+
+    def test_snapshot_missing_time_is_empty(self):
+        tkg = make_tkg()
+        assert tkg.snapshot(99).is_empty
+
+    def test_snapshots_default_all(self):
+        tkg = make_tkg()
+        assert len(tkg.snapshots()) == tkg.num_timestamps
+
+    def test_history_window(self):
+        tkg = make_tkg()
+        hist = tkg.history(3, k=2)
+        assert [s.time for s in hist] == [1, 2]
+
+    def test_history_clipped_at_zero(self):
+        tkg = make_tkg()
+        hist = tkg.history(1, k=5)
+        assert [s.time for s in hist] == [0]
+
+    def test_timestamps(self):
+        np.testing.assert_array_equal(make_tkg().timestamps, [0, 1, 2, 3, 4])
+
+
+class TestStatic:
+    def test_to_static_dedups(self):
+        tkg = make_tkg()
+        static = tkg.to_static()
+        # (0,0,1) appears at t=0 and t=1 -> one static triple.
+        assert len(static) == 6
+
+    def test_to_static_empty(self):
+        tkg = TemporalKG(np.zeros((0, 4), dtype=np.int64), 3, 2)
+        assert tkg.to_static().shape == (0, 3)
+
+
+class TestSplit:
+    def test_split_proportions_validated(self):
+        with pytest.raises(ValueError):
+            make_tkg().split((0.5, 0.5))
+        with pytest.raises(ValueError):
+            make_tkg().split((0.5, 0.4, 0.2))
+
+    def test_split_chronological(self):
+        tkg = make_tkg()
+        train, valid, test = tkg.split((0.6, 0.2, 0.2))
+        assert train.facts[:, 3].max() < valid.facts[:, 3].min()
+        assert valid.facts[:, 3].max() < test.facts[:, 3].min()
+
+    def test_split_covers_all_facts(self):
+        tkg = make_tkg()
+        train, valid, test = tkg.split((0.6, 0.2, 0.2))
+        assert len(train) + len(valid) + len(test) == len(tkg)
+
+    def test_split_nonempty_parts(self):
+        tkg = make_tkg()
+        for part in tkg.split((0.8, 0.1, 0.1)):
+            assert len(part) > 0
+
+    def test_split_keeps_vocabulary(self):
+        tkg = make_tkg()
+        train, _, _ = tkg.split((0.6, 0.2, 0.2))
+        assert train.num_entities == tkg.num_entities
+        assert train.num_relations == tkg.num_relations

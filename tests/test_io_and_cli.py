@@ -1,0 +1,105 @@
+"""Tests for checkpoint/TSV persistence and the CLI."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import RETIA, RETIAConfig
+from repro.graph import TemporalKG
+from repro.io import load_checkpoint, load_tkg_tsv, save_checkpoint, save_tkg_tsv
+
+
+def tiny_graph():
+    facts = [(0, 0, 1, 0), (1, 1, 2, 1), (2, 0, 3, 2)]
+    return TemporalKG(facts, num_entities=4, num_relations=2, granularity="24 hours")
+
+
+class TestCheckpoint:
+    def test_roundtrip_state(self, tmp_path):
+        config = RETIAConfig(num_entities=4, num_relations=2, dim=8, num_kernels=4)
+        model = RETIA(config)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model.state_dict(), config)
+        state, config_dict = load_checkpoint(path)
+        rebuilt = RETIA(RETIAConfig(**config_dict))
+        rebuilt.load_state_dict(state)
+        np.testing.assert_array_equal(
+            rebuilt.entity_embedding.data, model.entity_embedding.data
+        )
+
+    def test_config_optional(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, {"w": np.ones(3)})
+        state, config = load_checkpoint(path)
+        assert config is None
+        np.testing.assert_array_equal(state["w"], np.ones(3))
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(str(tmp_path / "x.npz"), {"__config_json__": np.ones(1)})
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        save_checkpoint(path, {"w": np.zeros(1)})
+        assert os.path.exists(path)
+
+    def test_plain_dict_config(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, {"w": np.zeros(1)}, config={"dim": 8})
+        _, config = load_checkpoint(path)
+        assert config == {"dim": 8}
+
+
+class TestTSV:
+    def test_roundtrip(self, tmp_path):
+        graph = tiny_graph()
+        path = str(tmp_path / "graph.tsv")
+        save_tkg_tsv(path, graph)
+        loaded = load_tkg_tsv(path)
+        np.testing.assert_array_equal(loaded.facts, graph.facts)
+        assert loaded.num_entities == 4
+        assert loaded.num_relations == 2
+        assert loaded.granularity == "24 hours"
+
+    def test_vocab_inferred_without_header(self, tmp_path):
+        path = str(tmp_path / "raw.tsv")
+        with open(path, "w") as fh:
+            fh.write("0\t1\t5\t0\n")
+        loaded = load_tkg_tsv(path)
+        assert loaded.num_entities == 6
+        assert loaded.num_relations == 2
+
+    def test_explicit_vocab_overrides(self, tmp_path):
+        path = str(tmp_path / "raw.tsv")
+        with open(path, "w") as fh:
+            fh.write("0\t0\t1\t0\n")
+        loaded = load_tkg_tsv(path, num_entities=10, num_relations=3)
+        assert loaded.num_entities == 10
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ICEWS14" in out
+        assert "#Entities" in out
+
+    def test_hypergraph_command(self, capsys):
+        assert main(["hypergraph", "--dataset", "YAGO", "--time", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hyperedges" in out
+
+    def test_evaluate_rejects_configless_checkpoint(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.npz")
+        save_checkpoint(path, {"w": np.zeros(1)})
+        assert main(["evaluate", "--dataset", "YAGO", "--checkpoint", path]) == 1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "FREEBASE"])

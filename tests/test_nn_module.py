@@ -1,0 +1,100 @@
+"""Tests for Module/Parameter bookkeeping and state serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        self.drop = nn.Dropout(0.5)
+
+    def forward(self, x):
+        return self.fc2(self.drop(self.fc1(x)))
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_paths(self):
+        net = TinyNet()
+        names = dict(net.named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+
+    def test_parameters_count(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_direct_parameter_registered(self):
+        class WithParam(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.w = nn.Parameter(np.ones(3))
+
+        assert len(WithParam().parameters()) == 1
+
+    def test_reassignment_replaces(self):
+        net = TinyNet()
+        net.fc1 = nn.Linear(4, 3)
+        assert len(dict(net.named_parameters())) == 4
+
+    def test_modules_iterates_tree(self):
+        net = TinyNet()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.drop.training
+        net.train()
+        assert net.drop.training
+
+    def test_dropout_inactive_in_eval(self):
+        net = TinyNet().eval()
+        x = Tensor(np.ones((8, 4)))
+        out1 = net(x).data
+        out2 = net(x).data
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_zero_grad(self):
+        net = TinyNet().eval()
+        x = Tensor(np.ones((2, 4)))
+        net(x).sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyNet(), TinyNet()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.any(net.fc1.weight.data == 99.0)
+
+    def test_missing_key_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)

@@ -1,0 +1,84 @@
+"""Tests for the networkx export utilities."""
+
+import networkx as nx
+import numpy as np
+
+from repro.graph import (
+    Snapshot,
+    build_hyperrelation_graph,
+    hypergraph_to_networkx,
+    relation_connectivity,
+    snapshot_to_networkx,
+)
+
+
+def make_snapshot(triples, num_entities=8, num_relations=4, time=3):
+    return Snapshot(np.array(triples), num_entities, num_relations, time)
+
+
+class TestSnapshotExport:
+    def test_nodes_cover_vocabulary(self):
+        graph = snapshot_to_networkx(make_snapshot([[0, 1, 2]]))
+        assert graph.number_of_nodes() == 8
+
+    def test_edges_carry_relations(self):
+        graph = snapshot_to_networkx(make_snapshot([[0, 1, 2], [0, 3, 2]]))
+        relations = {d["relation"] for _, _, d in graph.edges(data=True)}
+        assert relations == {1, 3}
+
+    def test_time_attribute(self):
+        graph = snapshot_to_networkx(make_snapshot([[0, 1, 2]], time=3))
+        assert graph.graph["time"] == 3
+
+    def test_include_inverse_doubles_edges(self):
+        snap = make_snapshot([[0, 1, 2]])
+        assert snapshot_to_networkx(snap).number_of_edges() == 1
+        assert snapshot_to_networkx(snap, include_inverse=True).number_of_edges() == 2
+
+    def test_multi_edges_kept(self):
+        graph = snapshot_to_networkx(make_snapshot([[0, 1, 2], [0, 2, 2]]))
+        assert graph.number_of_edges() == 2
+
+
+class TestHypergraphExport:
+    def test_edge_names(self):
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        graph = hypergraph_to_networkx(hyper)
+        names = {d["hyper_name"] for _, _, d in graph.edges(data=True)}
+        assert names <= {"o-s", "s-o", "o-o", "s-s"}
+        assert "o-s" in names
+
+    def test_inverse_types_excluded_by_default(self):
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        default = hypergraph_to_networkx(hyper).number_of_edges()
+        full = hypergraph_to_networkx(hyper, include_inverse=True).number_of_edges()
+        assert full == 2 * default
+
+    def test_inverse_names_suffixed(self):
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2]])
+        hyper = build_hyperrelation_graph(snap)
+        graph = hypergraph_to_networkx(hyper, include_inverse=True)
+        names = {d["hyper_name"] for _, _, d in graph.edges(data=True)}
+        assert any(name.endswith("^-1") for name in names)
+
+
+class TestRelationConnectivity:
+    def test_chain_is_one_component(self):
+        # r0 -> r1 -> r2 chained through entities: one component.
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2], [2, 2, 3]])
+        stats = relation_connectivity(build_hyperrelation_graph(snap))
+        assert stats["components"] == 1
+        assert stats["largest_component"] == stats["active_relations"] == 3
+
+    def test_disjoint_relations_two_islands(self):
+        # Two disconnected fact pairs -> two message islands.
+        snap = make_snapshot([[0, 0, 1], [1, 1, 2], [4, 2, 5], [5, 3, 6]])
+        stats = relation_connectivity(build_hyperrelation_graph(snap))
+        assert stats["components"] == 2
+
+    def test_empty_snapshot(self):
+        snap = make_snapshot(np.zeros((0, 3)))
+        stats = relation_connectivity(build_hyperrelation_graph(snap))
+        assert stats == {"active_relations": 0, "components": 0, "largest_component": 0}

@@ -1,0 +1,79 @@
+"""Property tests for the temporal-rule miner."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import TLogicRules
+from repro.graph import TemporalKG
+
+N, M = 10, 3
+
+
+@given(
+    n_facts=st.integers(5, 40),
+    n_times=st.integers(3, 10),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_rule_confidence_consistent(n_facts, n_times, seed):
+    """Every mined rule's confidence is support / body-count, in (0, 1]."""
+    rng = np.random.default_rng(seed)
+    facts = np.stack(
+        [
+            rng.integers(0, N, size=n_facts),
+            rng.integers(0, M, size=n_facts),
+            rng.integers(0, N, size=n_facts),
+            rng.integers(0, n_times, size=n_facts),
+        ],
+        axis=1,
+    )
+    model = TLogicRules(N, M, max_lag=2, min_support=1, min_confidence=0.0)
+    model.fit(TemporalKG(facts, N, M))
+    for rules in model.rules.values():
+        for rule in rules:
+            assert 0.0 < rule.confidence <= 1.0
+            assert rule.support >= 1
+            assert 1 <= rule.lag <= 2
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_property_scores_nonnegative_and_bounded(seed):
+    """Rule-vote scores are sums of confidences: nonnegative and bounded
+    by the number of firing rules."""
+    rng = np.random.default_rng(seed)
+    facts = np.stack(
+        [
+            rng.integers(0, N, size=30),
+            rng.integers(0, M, size=30),
+            rng.integers(0, N, size=30),
+            rng.integers(0, 6, size=30),
+        ],
+        axis=1,
+    )
+    model = TLogicRules(N, M, max_lag=2, min_support=1, min_confidence=0.0)
+    model.fit(TemporalKG(facts, N, M))
+    queries = np.stack([rng.integers(0, N, size=5), rng.integers(0, 2 * M, size=5)], axis=1)
+    scores = model.predict_entities(queries, time=6)
+    assert np.all(scores >= 0.0)
+    assert np.all(np.isfinite(scores))
+
+
+def test_deterministic_mining():
+    rng = np.random.default_rng(7)
+    facts = np.stack(
+        [
+            rng.integers(0, N, size=40),
+            rng.integers(0, M, size=40),
+            rng.integers(0, N, size=40),
+            rng.integers(0, 8, size=40),
+        ],
+        axis=1,
+    )
+    graph = TemporalKG(facts, N, M)
+    a = TLogicRules(N, M, min_support=1).fit(graph)
+    b = TLogicRules(N, M, min_support=1).fit(graph)
+    assert a.num_rules == b.num_rules
+    for head in a.rules:
+        assert [r.confidence for r in a.rules[head]] == [r.confidence for r in b.rules[head]]

@@ -1,0 +1,142 @@
+"""Tests for the static-graph-constraint module (paper Section IV-A4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
+from repro.core.static_constraint import StaticGraphConstraint, community_static_graph
+from repro.datasets import SyntheticTKGConfig, generate_tkg
+from repro.utils import l2_normalize_rows
+
+
+def small_config():
+    return SyntheticTKGConfig(
+        num_entities=20,
+        num_relations=4,
+        num_timestamps=10,
+        events_per_step=15,
+        num_communities=4,
+        base_pool_size=30,
+        seed=5,
+    )
+
+
+class TestCompanionGraph:
+    def test_one_fact_per_entity(self):
+        config = small_config()
+        static = community_static_graph(config)
+        assert len(static) == config.num_entities
+        # Community nodes appended after the entity vocabulary.
+        assert static.num_entities == config.num_entities + config.num_communities
+        assert static.num_relations == 1
+
+    def test_consistent_with_generator_seed(self):
+        config = small_config()
+        a = community_static_graph(config)
+        b = community_static_graph(config)
+        np.testing.assert_array_equal(a.triples, b.triples)
+
+    def test_members_point_at_community_nodes(self):
+        config = small_config()
+        static = community_static_graph(config)
+        assert static.triples[:, 2].min() >= config.num_entities
+
+
+class TestConstraintLoss:
+    def make_constraint(self, dim=8):
+        config = small_config()
+        static = community_static_graph(config)
+        return StaticGraphConstraint(
+            static, config.num_entities, dim, angle_step_degrees=15.0,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_encode_shape_and_normalised(self):
+        constraint = self.make_constraint()
+        encoded = constraint.encode()
+        assert encoded.shape == (20, 8)
+        np.testing.assert_allclose(
+            np.linalg.norm(encoded.data, axis=1), np.ones(20), atol=1e-9
+        )
+
+    def test_zero_loss_when_aligned(self):
+        constraint = self.make_constraint()
+        aligned = constraint.encode().detach()
+        loss = constraint(aligned, step=0)
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_loss_when_misaligned(self):
+        constraint = self.make_constraint()
+        static = constraint.encode().detach()
+        opposite = Tensor(-static.data)
+        assert constraint(opposite, step=0).item() > 0.5
+
+    def test_allowed_angle_grows_with_step(self):
+        constraint = self.make_constraint()
+        rng = np.random.default_rng(1)
+        entities = Tensor(rng.normal(size=(20, 8)))
+        early = constraint(entities, step=0).item()
+        late = constraint(entities, step=5).item()  # 90 degrees allowed
+        assert late <= early
+
+    def test_ninety_degrees_never_binds_nonnegative_cosine(self):
+        constraint = self.make_constraint()
+        static = constraint.encode().detach()
+        # At step >= 5 (15° each) the allowed angle caps at 90°: any
+        # embedding within a right angle of its static encoding is free.
+        loss = constraint(static, step=10)
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_sequence_loss_averages(self):
+        constraint = self.make_constraint()
+        rng = np.random.default_rng(2)
+        e = Tensor(rng.normal(size=(20, 8)))
+        single = constraint(e, step=0).item()
+        seq = constraint.sequence_loss([e]).item()
+        assert seq == pytest.approx(single)
+
+    def test_sequence_loss_empty_rejected(self):
+        constraint = self.make_constraint()
+        with pytest.raises(ValueError):
+            constraint.sequence_loss([])
+
+
+class TestRETIAIntegration:
+    def test_attached_constraint_changes_loss_and_trains(self):
+        config = small_config()
+        graph = generate_tkg(config)
+        train, _, _ = graph.split((0.7, 0.15, 0.15))
+
+        def build(with_constraint):
+            model = RETIA(RETIAConfig(20, 4, dim=8, history_length=2, num_kernels=4, seed=0))
+            if with_constraint:
+                constraint = StaticGraphConstraint(
+                    community_static_graph(config), 20, 8,
+                    rng=np.random.default_rng(0),
+                )
+                model.attach_static_constraint(constraint, weight=1.0)
+            model.set_history(train)
+            return model
+
+        plain = build(False).eval()
+        constrained = build(True).eval()
+        snapshot = train.snapshot(int(train.timestamps[-1]))
+        plain_loss = plain.loss_on_snapshot(snapshot)[0].item()
+        constrained_loss = constrained.loss_on_snapshot(snapshot)[0].item()
+        assert constrained_loss >= plain_loss - 1e-9
+
+        # The constraint's parameters join the optimizer and training runs.
+        trainer = Trainer(build(True), TrainerConfig(epochs=1, patience=2))
+        log = trainer.fit(train)
+        assert np.isfinite(log[0].loss_joint)
+
+    def test_constraint_parameters_registered(self):
+        config = small_config()
+        model = RETIA(RETIAConfig(20, 4, dim=8, history_length=2, num_kernels=4, seed=0))
+        before = len(model.parameters())
+        constraint = StaticGraphConstraint(community_static_graph(config), 20, 8)
+        model.attach_static_constraint(constraint)
+        assert len(model.parameters()) > before
