@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: fail if the encoder step regresses past budget.
+
+Runs the instrumented encoder benchmark on the synthetic ICEWS14
+surrogate and compares the measured per-step encoder time against the
+checked-in baseline (``benchmarks/encoder_baseline.json``).  The run
+fails when the measured time exceeds ``baseline * tolerance`` (default
+2x, generous enough to absorb CI hardware variation while still
+catching an accidental return to the per-edge-type Python loop).
+
+Usage:
+    PYTHONPATH=src python scripts/check_encoder_budget.py [--tolerance 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import benchmark_encoder
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "encoder_baseline.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor over the checked-in baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured timings back to the baseline file",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    result = benchmark_encoder(baseline["dataset"])
+    encoder_ms = result["encoder_seconds_per_step"] * 1000
+    full_ms = result["seconds_per_step"] * 1000
+    budget_ms = baseline["encoder_seconds_per_step"] * 1000 * args.tolerance
+
+    print(f"dataset:            {result['dataset']} ({result['steps']} steps)")
+    print(f"encoder step:       {encoder_ms:.2f} ms")
+    print(f"full training step: {full_ms:.2f} ms")
+    print(f"budget:             {budget_ms:.2f} ms "
+          f"({baseline['encoder_seconds_per_step'] * 1000:.2f} ms baseline "
+          f"x {args.tolerance:g})")
+    for name, stats in result["phases"].items():
+        print(f"  phase {name:<11} {stats['seconds'] * 1000:8.1f} ms "
+              f"over {stats['calls']} calls")
+
+    if args.update_baseline:
+        baseline["encoder_seconds_per_step"] = result["encoder_seconds_per_step"]
+        baseline["seconds_per_step"] = result["seconds_per_step"]
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    if encoder_ms > budget_ms:
+        print(f"FAIL: encoder step {encoder_ms:.2f} ms exceeds budget {budget_ms:.2f} ms")
+        return 1
+    print("OK: encoder step within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

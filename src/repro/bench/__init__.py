@@ -12,6 +12,7 @@ from repro.bench.runner import (
     DEFAULT_METHODS,
     BenchProfile,
     TrainedMethod,
+    benchmark_encoder,
     get_trained,
     retia_variant,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "BENCH_PROFILES",
     "DEFAULT_METHODS",
     "TrainedMethod",
+    "benchmark_encoder",
     "get_trained",
     "retia_variant",
     "format_table",

@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import timing
+
 from repro.baselines import (
     CEN,
     REGCN,
@@ -266,6 +268,75 @@ class TrainedMethod:
         finally:
             self._restore(checkpoint)
         return result, elapsed
+
+
+def benchmark_encoder(
+    dataset_name: str = "ICEWS14",
+    warmup: bool = True,
+    use_cache: bool = True,
+    seed: int = 0,
+) -> Dict:
+    """Time RETIA training steps with a per-phase encoder breakdown.
+
+    Two quantities are reported per training timestamp of the synthetic
+    dataset: ``encoder_seconds_per_step`` times one ``evolve`` pass over
+    the history window with gradient recording (the Eq. 1/4 message
+    passing this PR fuses), and ``seconds_per_step`` times the full
+    training batch (``loss_on_snapshot`` + ``backward``).  The phase
+    breakdown (hypergraph build / RAM / EAM / decoder) comes from the
+    :mod:`repro.timing` instrumentation inside the model.
+
+    ``warmup`` runs one untimed epoch first so measured steps see a warm
+    :class:`~repro.graph.SnapshotCache` (steady-state training cost);
+    ``use_cache=False`` sizes the cache to zero instead, measuring the
+    uncached per-step cost.
+    """
+    dataset = bench_dataset(dataset_name)
+    profile = BENCH_PROFILES[dataset_name]
+    model = RETIA(build_retia_config(dataset, profile, seed=seed))
+    model.set_history(dataset.train)
+    if not use_cache:
+        model.snapshot_cache = type(model.snapshot_cache)(max_entries=0)
+    model.train()
+
+    snapshots = [
+        s
+        for s in (dataset.train.snapshot(int(t)) for t in dataset.train.timestamps[1:])
+        if not s.is_empty
+    ]
+    if warmup:
+        for snapshot in snapshots:
+            joint, _, _ = model.loss_on_snapshot(snapshot)
+            joint.backward()
+
+    encoder_start = time.perf_counter()
+    for snapshot in snapshots:
+        model.evolve(model.history_before(snapshot.time))
+    encoder_total = time.perf_counter() - encoder_start
+
+    timer = timing.PhaseTimer()
+    start = time.perf_counter()
+    with timing.collect(timer):
+        for snapshot in snapshots:
+            joint, _, _ = model.loss_on_snapshot(snapshot)
+            joint.backward()
+    total = time.perf_counter() - start
+
+    steps = max(1, len(snapshots))
+    return {
+        "dataset": dataset_name,
+        "steps": len(snapshots),
+        "encoder_seconds_per_step": encoder_total / steps,
+        "total_seconds": total,
+        "seconds_per_step": total / steps,
+        "phases": timer.summary(),
+        "cache": {
+            "enabled": use_cache,
+            "entries": len(model.snapshot_cache),
+            "hits": model.snapshot_cache.hits,
+            "misses": model.snapshot_cache.misses,
+        },
+    }
 
 
 _CACHE: Dict[Tuple[str, str], TrainedMethod] = {}

@@ -50,6 +50,8 @@ class EntityAggregationModule(Module):
         entity_prev: Tensor,
         relation_embeddings: Tensor,
         snapshot: Snapshot,
+        edges: Optional[np.ndarray] = None,
+        edge_norm: Optional[np.ndarray] = None,
     ) -> Tensor:
         """One EAM step: returns the final entity embeddings ``E_t``.
 
@@ -62,11 +64,13 @@ class EntityAggregationModule(Module):
             ablations).
         snapshot:
             The original subgraph ``G_t``.
+        edges, edge_norm:
+            Optional precomputed (type-sorted) edge list and normaliser
+            from :class:`~repro.graph.cache.SnapshotCache`; derived from
+            ``snapshot`` when omitted.
         """
-        aggregated = self.gcn(
-            entity_prev,
-            relation_embeddings,
-            snapshot.edges_with_inverse,
-            snapshot.edge_norm,
-        )
+        if edges is None:
+            edges = snapshot.edges_with_inverse
+            edge_norm = snapshot.edge_norm
+        aggregated = self.gcn(entity_prev, relation_embeddings, edges, edge_norm)
         return self.gru(aggregated, entity_prev)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import timing
 from repro.autograd import Tensor, no_grad
 from repro.autograd import functional as F
 from repro.core.decoder import ConvTransE
@@ -38,8 +39,9 @@ from repro.graph import (
     NUM_HYPERRELATIONS,
     HyperSnapshot,
     Snapshot,
+    SnapshotArtifacts,
+    SnapshotCache,
     TemporalKG,
-    build_hyperrelation_graph,
 )
 from repro.nn import Module, Parameter, init, losses
 from repro.utils import l2_normalize_rows, seeded_rng
@@ -115,7 +117,10 @@ class RETIA(Module):
         )
 
         self._history: Dict[int, Snapshot] = {}
-        self._hyper_cache: Dict[Tuple[int, int], HyperSnapshot] = {}
+        # Static per-snapshot structure (hypergraphs, edge normalisers,
+        # type-sorted edge views) survives parameter updates, so it lives
+        # in a content-keyed cache rather than the per-step graph.
+        self.snapshot_cache = SnapshotCache()
         self._predict_cache: Optional[tuple] = None
         self._version = 0
         self.static_constraint = None
@@ -141,6 +146,7 @@ class RETIA(Module):
 
     def record_snapshot(self, snapshot: Snapshot) -> None:
         """Append newly revealed facts (no parameter update)."""
+        self.snapshot_cache.invalidate_time(snapshot.time)
         self._history[snapshot.time] = snapshot
         self._invalidate()
 
@@ -158,12 +164,7 @@ class RETIA(Module):
         self._invalidate()
 
     def _hyper(self, snapshot: Snapshot) -> HyperSnapshot:
-        key = (snapshot.time, len(snapshot))
-        cached = self._hyper_cache.get(key)
-        if cached is None:
-            cached = build_hyperrelation_graph(snapshot)
-            self._hyper_cache[key] = cached
-        return cached
+        return self.snapshot_cache.hyper(snapshot)
 
     # ------------------------------------------------------------------
     # Encoder: evolve embeddings along a history window
@@ -189,17 +190,26 @@ class RETIA(Module):
         entity_list: List[Tensor] = []
         relation_list: List[Tensor] = []
         for snapshot in history:
-            hyper_snapshot = self._hyper(snapshot)
-            relation = self._relation_step(
-                snapshot, hyper_snapshot, entity, relation, hyper, cell, hyper_cell
-            )
+            with timing.phase("hypergraph"):
+                artifacts = self.snapshot_cache.artifacts(snapshot)
+            with timing.phase("ram"):
+                relation = self._relation_step(
+                    snapshot, artifacts, entity, relation, hyper, cell, hyper_cell
+                )
             relation, cell, hyper, hyper_cell = relation
 
             if cfg.use_eam:
                 eam_relations = (
                     relation if cfg.use_tim else self.eam_relation_embedding
                 )
-                entity = self.eam(entity, eam_relations, snapshot)
+                with timing.phase("eam"):
+                    entity = self.eam(
+                        entity,
+                        eam_relations,
+                        snapshot,
+                        edges=artifacts.entity_edges,
+                        edge_norm=artifacts.entity_edge_norm,
+                    )
             # else: entities stay at their (normalised) initial values.
 
             entity_list.append(entity)
@@ -209,7 +219,7 @@ class RETIA(Module):
     def _relation_step(
         self,
         snapshot: Snapshot,
-        hyper_snapshot: HyperSnapshot,
+        artifacts: SnapshotArtifacts,
         entity_prev: Tensor,
         relation_prev: Tensor,
         hyper_prev: Tensor,
@@ -222,6 +232,7 @@ class RETIA(Module):
         """
         cfg = self.config
         mode = cfg.relation_mode
+        hyper_snapshot = artifacts.hyper
 
         if mode == "none":
             # wo. RM / wo. RAM: relations stay at R_0.
@@ -229,7 +240,7 @@ class RETIA(Module):
 
         if mode == "mp":
             # w. MP: mean-pooled adjacent entities only (no LSTM, no Agg).
-            entities, relations = snapshot.relation_entity_pairs
+            entities, relations = artifacts.relation_entity_pairs
             pooled = F.segment_mean(
                 entity_prev.gather_rows(entities), relations, 2 * cfg.num_relations
             )
@@ -238,7 +249,13 @@ class RETIA(Module):
         if not cfg.use_tim:
             # wo. TIM: the RAM evolves relations without entity input and
             # with frozen initial hyperrelation embeddings.
-            relation = self.ram(relation_prev, self.hyper_embedding, hyper_snapshot)
+            relation = self.ram(
+                relation_prev,
+                self.hyper_embedding,
+                hyper_snapshot,
+                edges=artifacts.hyper_edges,
+                edge_norm=artifacts.hyper_edge_norm,
+            )
             return relation, cell, self.hyper_embedding, hyper_cell
 
         # Eq. 7-8: common association constraints.
@@ -255,7 +272,7 @@ class RETIA(Module):
         if cfg.hyper_mode == "none":
             hyper_next, hyper_cell_next = self.hyper_embedding, hyper_cell
         elif cfg.hyper_mode == "hmp":
-            relations, hyper_types = hyper_snapshot.hyper_relation_pairs
+            relations, hyper_types = artifacts.hyper_relation_pairs
             hyper_next = F.segment_mean(
                 r_lstm.gather_rows(relations), hyper_types, 2 * NUM_HYPERRELATIONS
             )
@@ -266,7 +283,13 @@ class RETIA(Module):
                 hyper_cell = self.tim.hyper_lstm.init_state(hyper_prev.shape[0])[1]
             hyper_next, hyper_cell_next = self.tim.hyper_lstm(hr_mean, (hyper_prev, hyper_cell))
 
-        relation = self.ram(r_lstm, hyper_next, hyper_snapshot)
+        relation = self.ram(
+            r_lstm,
+            hyper_next,
+            hyper_snapshot,
+            edges=artifacts.hyper_edges,
+            edge_norm=artifacts.hyper_edge_norm,
+        )
         return relation, cell, hyper_next, hyper_cell_next
 
     # ------------------------------------------------------------------
@@ -280,10 +303,11 @@ class RETIA(Module):
             entity_list, relation_list = entity_list[-1:], relation_list[-1:]
         queries = np.asarray(queries, dtype=np.int64)
         probs = []
-        for entity, relation in zip(entity_list, relation_list):
-            subj = entity.gather_rows(queries[:, 0])
-            rel = relation.gather_rows(queries[:, 1])
-            probs.append(self.entity_decoder.probabilities(subj, rel, entity))
+        with timing.phase("decoder"):
+            for entity, relation in zip(entity_list, relation_list):
+                subj = entity.gather_rows(queries[:, 0])
+                rel = relation.gather_rows(queries[:, 1])
+                probs.append(self.entity_decoder.probabilities(subj, rel, entity))
         return probs
 
     def _relation_probabilities(
@@ -295,10 +319,11 @@ class RETIA(Module):
         pairs = np.asarray(pairs, dtype=np.int64)
         m = self.config.num_relations
         probs = []
-        for entity, relation in zip(entity_list, relation_list):
-            subj = entity.gather_rows(pairs[:, 0])
-            obj = entity.gather_rows(pairs[:, 1])
-            probs.append(self.relation_decoder.probabilities(subj, obj, relation[:m]))
+        with timing.phase("decoder"):
+            for entity, relation in zip(entity_list, relation_list):
+                subj = entity.gather_rows(pairs[:, 0])
+                obj = entity.gather_rows(pairs[:, 1])
+                probs.append(self.relation_decoder.probabilities(subj, obj, relation[:m]))
         return probs
 
     @staticmethod

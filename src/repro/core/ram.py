@@ -57,6 +57,8 @@ class RelationAggregationModule(Module):
         relation_lstm: Tensor,
         hyper_embeddings: Tensor,
         hyper_snapshot: HyperSnapshot,
+        edges: Optional[np.ndarray] = None,
+        edge_norm: Optional[np.ndarray] = None,
     ) -> Tensor:
         """One RAM step: returns the final relation embeddings ``R_t``.
 
@@ -68,11 +70,13 @@ class RelationAggregationModule(Module):
             ``HR_t`` ``(2H, d)`` from the TIM.
         hyper_snapshot:
             The twin hyperrelation subgraph ``HG_t``.
+        edges, edge_norm:
+            Optional precomputed (type-sorted) hyperedge list and
+            normaliser from :class:`~repro.graph.cache.SnapshotCache`;
+            derived from ``hyper_snapshot`` when omitted.
         """
-        aggregated = self.gcn(
-            relation_lstm,
-            hyper_embeddings,
-            hyper_snapshot.edges,
-            hyper_snapshot.edge_norm,
-        )
+        if edges is None:
+            edges = hyper_snapshot.edges
+            edge_norm = hyper_snapshot.edge_norm
+        aggregated = self.gcn(relation_lstm, hyper_embeddings, edges, edge_norm)
         return self.gru(aggregated, relation_lstm)

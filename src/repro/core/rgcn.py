@@ -7,9 +7,13 @@ differs (entity graph with 2M relation types vs. hyperrelation graph with
     out_dst = f( sum_{type} 1/c_{dst,type} sum_{src} W_type (src + edge_emb)
                  + W_0 dst )
 
-Edges are ``(src, type, dst)`` index rows; messages are computed per edge
-type (gather -> transform -> normalised scatter-add), which is the numpy
-formulation of DGL's ``update_all``.
+Edges are ``(src, type, dst)`` index rows; all messages are computed in
+one fused pass (gather -> per-type batched transform via
+:func:`~repro.autograd.functional.typed_linear` -> normalised
+:func:`~repro.autograd.functional.segment_sum`), which is the numpy
+formulation of DGL's ``update_all`` without the per-edge-type Python
+loop.  Callers that pass type-sorted edge lists (see
+:class:`~repro.graph.cache.SnapshotCache`) skip the internal sort.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.nn import Module, Parameter, init
+from repro.utils import seeded_rng
 
 
 class RGCNLayer(Module):
@@ -47,7 +52,9 @@ class RGCNLayer(Module):
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        # A missing rng must not silently break reproducibility: fall back
+        # to the deterministic model-seed default rather than OS entropy.
+        rng = rng if rng is not None else seeded_rng(0)
         self.num_edge_types = num_edge_types
         self.dim = dim
         self.activation = activation
@@ -77,23 +84,28 @@ class RGCNLayer(Module):
             (relation embeddings in Eq. 4, hyperrelation embeddings in
             Eq. 1).
         edges:
-            ``(E, 3)`` rows of ``(src, type, dst)``.
+            ``(E, 3)`` rows of ``(src, type, dst)``.  Pre-sorting by type
+            (as :class:`~repro.graph.cache.SnapshotCache` does) avoids an
+            argsort here and keeps the weight-bank gradient on the
+            contiguous-segment fast path.
         edge_norm:
-            ``(E,)`` per-edge ``1 / c_{dst,type}``.
+            ``(E,)`` per-edge ``1 / c_{dst,type}``, aligned with ``edges``.
         """
         num_nodes = nodes.shape[0]
         out = nodes @ self.self_weight  # W_0 self-loop term
         edges = np.asarray(edges, dtype=np.int64)
         if len(edges):
-            types_present = np.unique(edges[:, 1])
-            for edge_type in types_present:
-                mask = edges[:, 1] == edge_type
-                src = edges[mask, 0]
-                dst = edges[mask, 2]
-                norm = Tensor(edge_norm[mask][:, None])
-                messages = nodes.gather_rows(src) + edge_embeddings[int(edge_type)]
-                transformed = messages @ self.weight[int(edge_type)]
-                out = out + F.scatter_add(transformed * norm, dst, num_nodes)
+            types = edges[:, 1]
+            if not np.all(types[1:] >= types[:-1]):
+                order = np.argsort(types, kind="stable")
+                edges = edges[order]
+                edge_norm = np.asarray(edge_norm)[order]
+                types = edges[:, 1]
+            src, dst = edges[:, 0], edges[:, 2]
+            messages = nodes.gather_rows(src) + edge_embeddings.gather_rows(types)
+            transformed = F.typed_linear(messages, self.weight, types)
+            weighted = transformed * Tensor(np.asarray(edge_norm)[:, None])
+            out = out + F.segment_sum(weighted, dst, num_nodes)
         if self.activation:
             out = F.rrelu(out, training=self.training, rng=self._rng)
         if self.dropout:
@@ -132,6 +144,15 @@ class RGCNStack(Module):
 
     def forward(self, nodes, edge_embeddings, edges, edge_norm) -> Tensor:
         """Aggregate ``num_layers`` hops (same arguments as RGCNLayer)."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if len(edges):
+            # Sort by type once so every layer hits the contiguous-segment
+            # fast path instead of re-sorting per hop.
+            types = edges[:, 1]
+            if not np.all(types[1:] >= types[:-1]):
+                order = np.argsort(types, kind="stable")
+                edges = edges[order]
+                edge_norm = np.asarray(edge_norm)[order]
         out = nodes
         for i in range(self.num_layers):
             layer = getattr(self, f"layer{i}")

@@ -85,10 +85,12 @@ class Trainer:
             if cfg.shuffle:
                 self._rng.shuffle(order)
             joint_sum = entity_sum = relation_sum = 0.0
+            batches = 0
             for time in order:
                 snapshot = train.snapshot(time)
                 if snapshot.is_empty:
                     continue
+                batches += 1
                 joint, loss_e, loss_r = model.loss_on_snapshot(snapshot)
                 self.optimizer.zero_grad()
                 joint.backward()
@@ -99,7 +101,9 @@ class Trainer:
                 entity_sum += loss_e.item()
                 relation_sum += loss_r.item()
 
-            count = max(1, len(order))
+            # Average over the batches actually processed: empty snapshots
+            # are skipped above and must not deflate the epoch losses.
+            count = max(1, batches)
             entry = EpochLog(
                 epoch=epoch,
                 loss_joint=joint_sum / count,

@@ -74,9 +74,12 @@ def evaluate_extrapolation(
         )
         targets = np.concatenate([o, s])
         scores = model.predict_entities(queries, int(time))
-        mask = filter_index.mask(queries, int(time), setting) if filter_index else None
+        # Raw ranking never uses a mask, so skip building one even when a
+        # FilterIndex was supplied.
         if setting == "raw":
             mask = None
+        else:
+            mask = filter_index.mask(queries, int(time), setting)
         entity_acc.update(ranks_from_scores(scores, targets, mask))
 
         # Relation task: (s, ?, o) ranked among the M true relations.

@@ -10,6 +10,7 @@ construction of Algorithm 1 (:func:`build_hyperrelation_graph`).
 from repro.graph.quadruple import Quadruple
 from repro.graph.snapshot import Snapshot
 from repro.graph.tkg import TemporalKG
+from repro.graph.cache import SnapshotArtifacts, SnapshotCache
 from repro.graph.hypergraph import (
     HYPERRELATION_NAMES,
     NUM_HYPERRELATIONS,
@@ -26,6 +27,8 @@ __all__ = [
     "Quadruple",
     "Snapshot",
     "TemporalKG",
+    "SnapshotArtifacts",
+    "SnapshotCache",
     "HyperSnapshot",
     "build_hyperrelation_graph",
     "HYPERRELATION_NAMES",

@@ -21,6 +21,7 @@ types for the paper's ``H = 4``.
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import List
 
 import numpy as np
@@ -64,16 +65,20 @@ class HyperSnapshot:
         """True when the snapshot produced no hyperedges."""
         return len(self.edges) == 0
 
-    @property
+    @cached_property
     def edge_norm(self) -> np.ndarray:
-        """Per-edge ``1 / c_{r_o, hr}`` normaliser (Eq. 1)."""
+        """Per-edge ``1 / c_{r_o, hr}`` normaliser (Eq. 1).
+
+        The snapshot is immutable, so the normaliser is computed once and
+        cached on the instance (it used to be recomputed per access).
+        """
         if self.is_empty:
             return np.zeros(0)
         keys = self.edges[:, 2] * (2 * NUM_HYPERRELATIONS) + self.edges[:, 1]
         _, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
         return 1.0 / counts[inverse]
 
-    @property
+    @cached_property
     def hyper_relation_pairs(self) -> tuple:
         """``(relation_ids, hyper_type_ids)`` for hyper mean pooling (Eq. 9).
 
