@@ -23,6 +23,7 @@ Every ablation the paper runs is a constructor switch:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -376,6 +377,26 @@ class RETIA(Module):
         """Record revealed facts; online updates are handled by Trainer's
         :class:`~repro.core.trainer.OnlineAdapter`."""
         self.record_snapshot(snapshot)
+
+    # ------------------------------------------------------------------
+    # Resilience support
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 over every parameter's exact bytes.
+
+        Two runs whose fingerprints match are bit-identical — the cheap
+        equality the kill/resume drills assert instead of diffing every
+        array.
+        """
+        h = hashlib.sha256()
+        for name, param in sorted(self.named_parameters()):
+            h.update(name.encode("utf-8"))
+            h.update(np.ascontiguousarray(param.data).tobytes())
+        return h.hexdigest()
+
+    def parameters_finite(self) -> bool:
+        """True when no parameter holds a NaN/Inf entry."""
+        return all(bool(np.all(np.isfinite(p.data))) for p in self.parameters())
 
     # ------------------------------------------------------------------
     # Training loss (Eq. 13-14)

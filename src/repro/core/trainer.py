@@ -6,20 +6,42 @@ batch, sums decoder probabilities over the last-k historical snapshots
 fails to improve for five consecutive epochs, and — during evaluation —
 keeps updating on newly revealed timestamps ("online continuous
 training").
+
+Both loops run on the fault-tolerant runtime in
+:mod:`repro.resilience`: every backward/step is guarded against
+NaN/Inf (skip the batch, roll back, back off the learning rate after
+repeated failures), and when a :class:`~repro.resilience.ResilienceConfig`
+with a checkpoint directory is given, ``fit`` writes atomic, checksummed
+:class:`~repro.resilience.RunState` checkpoints it can resume from
+bit-for-bit — the shuffled batch order, partial epoch sums and every
+random-generator state are part of the checkpoint, so a run killed at
+batch *k* and resumed matches the uninterrupted run exactly.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.core.model import RETIA
 from repro.eval import evaluate_extrapolation
 from repro.graph import Snapshot, TemporalKG
-from repro.nn import Adam, clip_grad_norm
+from repro.nn import Adam
+from repro.resilience import (
+    STATUS_COMPLETED,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    CheckpointManager,
+    FaultInjector,
+    GracefulInterrupt,
+    NonFiniteGuard,
+    ResilienceConfig,
+    RunState,
+    TrainingInterrupted,
+    load_run_state,
+)
 from repro.utils import seeded_rng
 
 
@@ -47,90 +69,276 @@ class EpochLog:
     loss_entity: float
     loss_relation: float
     valid_mrr: Optional[float] = None
+    #: batches skipped by the non-finite sentinel this epoch.
+    nonfinite_skips: int = 0
+    #: learning rate at the end of the epoch (changes under backoff).
+    lr: Optional[float] = None
 
 
 class Trainer:
     """General training driver for :class:`~repro.core.model.RETIA`."""
 
-    def __init__(self, model: RETIA, config: TrainerConfig = TrainerConfig()):
+    def __init__(
+        self,
+        model: RETIA,
+        config: TrainerConfig = TrainerConfig(),
+        resilience: Optional[ResilienceConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         self.model = model
         self.config = config
+        self.resilience = resilience or ResilienceConfig(handle_signals=False)
+        self.fault_injector = fault_injector
         self.optimizer = Adam(
             model.parameters(), lr=config.lr, weight_decay=config.weight_decay
         )
+        self.guard = NonFiniteGuard(self.optimizer, self.resilience.sentinel_config())
+        self.checkpoints: Optional[CheckpointManager] = None
+        if self.resilience.checkpoint_dir is not None:
+            self.checkpoints = CheckpointManager(
+                self.resilience.checkpoint_dir, keep=self.resilience.keep
+            )
         self.log: List[EpochLog] = []
         self._rng = seeded_rng(config.seed)
+        self._global_batch = 0
+
+    # ------------------------------------------------------------------
+    # Run-state capture / restore
+    # ------------------------------------------------------------------
+    def _capture(
+        self,
+        epoch: int,
+        batch_index: int,
+        order: List[int],
+        sums: dict,
+        best_metric: float,
+        best_state,
+        bad_epochs: int,
+        status: str,
+    ) -> RunState:
+        return RunState(
+            epoch=epoch,
+            batch_index=batch_index,
+            global_batch=self._global_batch,
+            order=list(order),
+            joint_sum=sums["joint"],
+            entity_sum=sums["entity"],
+            relation_sum=sums["relation"],
+            batches=sums["batches"],
+            epoch_nonfinite=sums["nonfinite"],
+            best_metric=best_metric,
+            bad_epochs=bad_epochs,
+            guard_state=self.guard.state_dict(),
+            log=[asdict(entry) for entry in self.log],
+            model_state=self.model.state_dict(),
+            best_state=best_state,
+            optimizer_state=self.optimizer.state_dict(),
+            trainer_rng_state=self._rng.bit_generator.state,
+            model_rng_states=self.model.rng_state(),
+            status=status,
+        )
+
+    def _restore(self, state: RunState) -> None:
+        self.model.load_state_dict(state.model_state)
+        self.model.mark_updated()
+        self.optimizer.load_state_dict(state.optimizer_state)
+        self.guard.load_state_dict(state.guard_state)
+        if state.trainer_rng_state is not None:
+            self._rng.bit_generator.state = state.trainer_rng_state
+        if state.model_rng_states:
+            self.model.set_rng_state(state.model_rng_states)
+        self.log = [EpochLog(**entry) for entry in state.log]
+        self._global_batch = state.global_batch
+
+    def _resolve_resume(
+        self, resume: Union[None, bool, str, RunState]
+    ) -> Optional[RunState]:
+        if resume is None or resume is False:
+            return None
+        if isinstance(resume, RunState):
+            return resume
+        if resume is True:
+            if self.checkpoints is None:
+                raise ValueError(
+                    "resume=True needs a ResilienceConfig with a checkpoint_dir"
+                )
+            if self.checkpoints.latest() is None:
+                return None  # nothing saved yet: start fresh
+            state, _ = self.checkpoints.load_latest()
+            return state
+        return load_run_state(resume)
 
     # ------------------------------------------------------------------
     # General training
     # ------------------------------------------------------------------
-    def fit(self, train: TemporalKG, valid: Optional[TemporalKG] = None) -> List[EpochLog]:
+    def fit(
+        self,
+        train: TemporalKG,
+        valid: Optional[TemporalKG] = None,
+        resume: Union[None, bool, str, RunState] = None,
+    ) -> List[EpochLog]:
         """Train on ``train``; early-stop on validation entity MRR.
 
-        Returns the per-epoch loss log (also kept on ``self.log``).
+        ``resume`` restarts a checkpointed run: ``True`` picks the
+        newest verified checkpoint in the configured directory (falling
+        back over corrupt files), a path loads that exact file, and a
+        :class:`~repro.resilience.RunState` is used directly.  Returns
+        the per-epoch loss log (also kept on ``self.log``).
         """
         cfg = self.config
+        res = self.resilience
         model = self.model
         model.set_history(train)
         # Every timestamp with at least one preceding timestamp is a
         # training batch (paper: "each timestamp as a batch").
         target_times = [int(t) for t in train.timestamps[1:]]
-        best_metric = -np.inf
-        best_state = None
-        bad_epochs = 0
 
-        for epoch in range(cfg.epochs):
-            model.train()
-            order = list(target_times)
-            if cfg.shuffle:
-                self._rng.shuffle(order)
-            joint_sum = entity_sum = relation_sum = 0.0
-            batches = 0
-            for time in order:
-                snapshot = train.snapshot(time)
-                if snapshot.is_empty:
-                    continue
-                batches += 1
-                joint, loss_e, loss_r = model.loss_on_snapshot(snapshot)
-                self.optimizer.zero_grad()
-                joint.backward()
-                clip_grad_norm(self.optimizer.parameters, cfg.grad_clip)
-                self.optimizer.step()
-                model.mark_updated()
-                joint_sum += joint.item()
-                entity_sum += loss_e.item()
-                relation_sum += loss_r.item()
+        state = self._resolve_resume(resume)
+        if state is not None:
+            self._restore(state)
+            if state.status == STATUS_COMPLETED:
+                model.eval()
+                return self.log
+            start_epoch = state.epoch
+            best_metric = state.best_metric
+            best_state = state.best_state
+            bad_epochs = state.bad_epochs
+            pending = state if state.batch_index > 0 else None
+        else:
+            start_epoch = 0
+            best_metric = -np.inf
+            best_state = None
+            bad_epochs = 0
+            pending = None
 
-            # Average over the batches actually processed: empty snapshots
-            # are skipped above and must not deflate the epoch losses.
-            count = max(1, batches)
-            entry = EpochLog(
-                epoch=epoch,
-                loss_joint=joint_sum / count,
-                loss_entity=entity_sum / count,
-                loss_relation=relation_sum / count,
-            )
+        every = res.checkpoint_every_batches if self.checkpoints else 0
+        with GracefulInterrupt(enabled=res.handle_signals) as interrupt:
+            for epoch in range(start_epoch, cfg.epochs):
+                model.train()
+                if pending is not None:
+                    order = list(pending.order)
+                    start_index = pending.batch_index
+                    sums = {
+                        "joint": pending.joint_sum,
+                        "entity": pending.entity_sum,
+                        "relation": pending.relation_sum,
+                        "batches": pending.batches,
+                        "nonfinite": pending.epoch_nonfinite,
+                    }
+                    pending = None
+                else:
+                    order = list(target_times)
+                    if cfg.shuffle:
+                        self._rng.shuffle(order)
+                    start_index = 0
+                    sums = {
+                        "joint": 0.0, "entity": 0.0, "relation": 0.0,
+                        "batches": 0, "nonfinite": 0,
+                    }
 
-            if valid is not None and len(valid):
-                entry.valid_mrr = self.validate(valid)
-                metric = entry.valid_mrr
-            else:
-                metric = -entry.loss_joint
-            self.log.append(entry)
+                for index in range(start_index, len(order)):
+                    snapshot = train.snapshot(order[index])
+                    if snapshot.is_empty:
+                        continue
+                    if self.fault_injector is not None:
+                        self.fault_injector.on_batch_start(self._global_batch)
+                    joint, loss_e, loss_r = model.loss_on_snapshot(snapshot)
+                    if self.fault_injector is not None:
+                        self.fault_injector.poison_loss(joint, self._global_batch)
+                    if self.guard.guarded_step(joint, cfg.grad_clip):
+                        model.mark_updated()
+                        sums["joint"] += joint.item()
+                        sums["entity"] += loss_e.item()
+                        sums["relation"] += loss_r.item()
+                        sums["batches"] += 1
+                    else:
+                        sums["nonfinite"] += 1
+                    self._global_batch += 1
 
-            if metric > best_metric + 1e-9:
-                best_metric = metric
-                best_state = model.state_dict()
-                bad_epochs = 0
-            else:
-                bad_epochs += 1
-                if bad_epochs >= cfg.patience:
+                    if interrupt.triggered:
+                        path = None
+                        if self.checkpoints is not None:
+                            path = self.checkpoints.save(self._capture(
+                                epoch, index + 1, order, sums,
+                                best_metric, best_state, bad_epochs,
+                                STATUS_INTERRUPTED,
+                            ))
+                        raise TrainingInterrupted(
+                            f"interrupted by signal {interrupt.signal_number} "
+                            f"at epoch {epoch}, batch {index + 1}/{len(order)}",
+                            checkpoint_path=path,
+                            signal_number=interrupt.signal_number,
+                        )
+                    if every and self._global_batch % every == 0:
+                        self.checkpoints.save(self._capture(
+                            epoch, index + 1, order, sums,
+                            best_metric, best_state, bad_epochs, STATUS_RUNNING,
+                        ))
+
+                # Average over the batches actually processed: empty
+                # snapshots and sentinel-skipped batches must not
+                # deflate the epoch losses.
+                count = max(1, sums["batches"])
+                entry = EpochLog(
+                    epoch=epoch,
+                    loss_joint=sums["joint"] / count,
+                    loss_entity=sums["entity"] / count,
+                    loss_relation=sums["relation"] / count,
+                    nonfinite_skips=sums["nonfinite"],
+                    lr=self.optimizer.lr,
+                )
+
+                if valid is not None and len(valid):
+                    entry.valid_mrr = self.validate(valid)
+                    metric = entry.valid_mrr
+                else:
+                    metric = -entry.loss_joint
+                self.log.append(entry)
+
+                stop = False
+                if metric > best_metric + 1e-9:
+                    best_metric = metric
+                    best_state = model.state_dict()
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    stop = bad_epochs >= cfg.patience
+
+                if self.checkpoints is not None:
+                    empty = {
+                        "joint": 0.0, "entity": 0.0, "relation": 0.0,
+                        "batches": 0, "nonfinite": 0,
+                    }
+                    self.checkpoints.save(self._capture(
+                        epoch + 1, 0, [], empty,
+                        best_metric, best_state, bad_epochs, STATUS_RUNNING,
+                    ))
+                if interrupt.triggered:
+                    path = None
+                    if self.checkpoints is not None:
+                        path = self.checkpoints.latest()
+                    raise TrainingInterrupted(
+                        f"interrupted by signal {interrupt.signal_number} "
+                        f"after epoch {epoch}",
+                        checkpoint_path=path,
+                        signal_number=interrupt.signal_number,
+                    )
+                if stop:
                     break
 
         if best_state is not None:
             model.load_state_dict(best_state)
             model.mark_updated()
         model.eval()
+        if self.checkpoints is not None:
+            empty = {
+                "joint": 0.0, "entity": 0.0, "relation": 0.0,
+                "batches": 0, "nonfinite": 0,
+            }
+            self.checkpoints.save(self._capture(
+                cfg.epochs, 0, [], empty,
+                best_metric, best_state, bad_epochs, STATUS_COMPLETED,
+            ))
         return self.log
 
     def validate(self, valid: TemporalKG) -> float:
@@ -151,7 +359,7 @@ class Trainer:
     # ------------------------------------------------------------------
     def online_adapter(self) -> "OnlineAdapter":
         """Wrap the model for evaluation with online continuous training."""
-        return OnlineAdapter(self.model, self.config)
+        return OnlineAdapter(self.model, self.config, self.resilience)
 
 
 class OnlineAdapter:
@@ -160,13 +368,27 @@ class OnlineAdapter:
     Forecasting delegates to the model; ``observe`` first takes
     ``online_steps`` gradient steps on the revealed facts (using the
     history before them) and then records the snapshot, matching the
-    paper's online continuous-training protocol.
+    paper's online continuous-training protocol.  Each step runs under
+    the same non-finite sentinel as general training: a poisoned
+    snapshot is recorded but its gradient step is skipped, with the
+    skip counted on :attr:`nonfinite_skips`.
     """
 
-    def __init__(self, model: RETIA, config: TrainerConfig):
+    def __init__(
+        self,
+        model: RETIA,
+        config: TrainerConfig,
+        resilience: Optional[ResilienceConfig] = None,
+    ):
         self.model = model
         self.config = config
         self.optimizer = Adam(model.parameters(), lr=config.online_lr)
+        sentinel = (resilience or ResilienceConfig()).sentinel_config()
+        self.guard = NonFiniteGuard(self.optimizer, sentinel)
+
+    @property
+    def nonfinite_skips(self) -> int:
+        return self.guard.total_skips
 
     def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
         return self.model.predict_entities(queries, time)
@@ -181,10 +403,7 @@ class OnlineAdapter:
         self.model.train()
         for _ in range(self.config.online_steps):
             joint, _, _ = self.model.loss_on_snapshot(snapshot)
-            self.optimizer.zero_grad()
-            joint.backward()
-            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
-            self.optimizer.step()
-            self.model.mark_updated()
+            if self.guard.guarded_step(joint, self.config.grad_clip):
+                self.model.mark_updated()
         self.model.eval()
         self.model.record_snapshot(snapshot)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
@@ -83,6 +84,40 @@ class Module:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def _rng_generators(self) -> List[np.random.Generator]:
+        """Distinct ``np.random.Generator`` objects used by the tree.
+
+        Stochastic layers (Dropout, RReLU, RGCNLayer) keep their
+        generator on a ``_rng`` attribute; several layers often share a
+        single generator object, so duplicates are removed while keeping
+        first-appearance traversal order.  A model built the same way
+        twice therefore yields generators in the same order, which makes
+        the state lists below exchangeable between runs.
+        """
+        seen: List[np.random.Generator] = []
+        ids = set()
+        for module in self.modules():
+            rng = getattr(module, "_rng", None)
+            if isinstance(rng, np.random.Generator) and id(rng) not in ids:
+                ids.add(id(rng))
+                seen.append(rng)
+        return seen
+
+    def rng_state(self) -> List[dict]:
+        """Bit-generator states of every distinct generator in the tree."""
+        return [copy.deepcopy(g.bit_generator.state) for g in self._rng_generators()]
+
+    def set_rng_state(self, states: List[dict]) -> None:
+        """Restore generator states captured by :meth:`rng_state`."""
+        generators = self._rng_generators()
+        if len(states) != len(generators):
+            raise ValueError(
+                f"rng state count mismatch: got {len(states)}, "
+                f"module tree has {len(generators)} generators"
+            )
+        for generator, state in zip(generators, states):
+            generator.bit_generator.state = copy.deepcopy(state)
+
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Copy of every parameter array keyed by its dotted path."""
         return {name: p.data.copy() for name, p in self.named_parameters()}

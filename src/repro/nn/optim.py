@@ -40,6 +40,35 @@ class Optimizer:
         """Apply one update from the accumulated gradients."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copy of the internal state (hyperparameters + moment buffers).
+
+        Buffers are keyed positionally: they align with ``parameters``
+        order, which is deterministic for a model built the same way.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        raise NotImplementedError
+
+    def _check_buffers(self, name: str, buffers: List[np.ndarray]) -> List[np.ndarray]:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state mismatch: {len(buffers)} {name} buffers "
+                f"for {len(self.parameters)} parameters"
+            )
+        restored = []
+        for buf, p in zip(buffers, self.parameters):
+            arr = np.asarray(buf, dtype=np.float64)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer {name} buffer shape {arr.shape} does not "
+                    f"match parameter shape {p.data.shape}"
+                )
+            restored.append(arr.copy())
+        return restored
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -64,6 +93,20 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = self._check_buffers("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -102,3 +145,25 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        self._m = self._check_buffers("m", state["m"])
+        self._v = self._check_buffers("v", state["v"])

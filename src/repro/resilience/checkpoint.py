@@ -1,0 +1,162 @@
+"""Atomic, integrity-checked, rotating run-state checkpoints.
+
+Checkpoint files are single ``.npz`` archives written through
+:func:`repro.io.atomic_savez` (temp file + fsync + ``os.replace``) with
+a SHA-256 content checksum embedded as an extra array entry.  On read
+the checksum is recomputed over every other entry — name, dtype, shape
+and raw bytes — so truncation, bit-flips and partial writes are all
+detected (zip-level CRC catches most of these too; the embedded digest
+also covers regions the container does not).
+
+:class:`CheckpointManager` rotates ``runstate-NNNNNN.npz`` files in a
+directory, keeping the newest ``keep`` of them, and on load walks from
+newest to oldest, skipping corrupt files until a good one verifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import zipfile
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.io import atomic_savez
+from repro.resilience.runstate import RunState, RunStateError
+
+CHECKSUM_KEY = "__checksum__"
+
+_FILE_RE = re.compile(r"^runstate-(\d{6})\.npz$")
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file that fails integrity verification."""
+
+
+def _digest(payload: Dict[str, np.ndarray]) -> bytes:
+    """SHA-256 over every entry's name, dtype, shape and contents."""
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        if key == CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[key])
+        h.update(key.encode("utf-8"))
+        h.update(str(arr.dtype).encode("utf-8"))
+        h.update(str(arr.shape).encode("utf-8"))
+        h.update(arr.tobytes())
+    return h.digest()
+
+
+def write_payload(path: str, payload: Dict[str, np.ndarray]) -> str:
+    """Atomically write ``payload`` plus its embedded checksum.
+
+    Returns the real path written (``.npz`` suffix normalised).
+    """
+    if CHECKSUM_KEY in payload:
+        raise ValueError(f"payload must not contain the reserved key {CHECKSUM_KEY!r}")
+    stamped = dict(payload)
+    stamped[CHECKSUM_KEY] = np.frombuffer(_digest(payload), dtype=np.uint8)
+    return atomic_savez(path, stamped)
+
+
+def read_payload(path: str) -> Dict[str, np.ndarray]:
+    """Read and verify a payload; raise :class:`CheckpointCorruptError`.
+
+    Any container-level failure (truncated zip, bad member CRC, missing
+    or mismatched checksum) is reported as corruption so callers can
+    fall back to an older checkpoint.
+    """
+    try:
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+        raise CheckpointCorruptError(f"{path}: unreadable archive ({exc})") from exc
+    if CHECKSUM_KEY not in payload:
+        raise CheckpointCorruptError(f"{path}: missing embedded checksum")
+    recorded = bytes(payload.pop(CHECKSUM_KEY))
+    actual = _digest(payload)
+    if recorded != actual:
+        raise CheckpointCorruptError(
+            f"{path}: checksum mismatch "
+            f"(recorded {recorded.hex()[:12]}…, computed {actual.hex()[:12]}…)"
+        )
+    return payload
+
+
+class CheckpointManager:
+    """Rotating keep-N run-state checkpoints in one directory."""
+
+    def __init__(self, directory: str, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = os.path.abspath(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Listing
+    # ------------------------------------------------------------------
+    def checkpoints(self) -> List[str]:
+        """Checkpoint paths sorted oldest → newest."""
+        entries = []
+        for name in os.listdir(self.directory):
+            match = _FILE_RE.match(name)
+            if match:
+                entries.append((int(match.group(1)), name))
+        return [os.path.join(self.directory, name) for _, name in sorted(entries)]
+
+    def latest(self) -> Optional[str]:
+        """Path of the newest checkpoint, or None."""
+        paths = self.checkpoints()
+        return paths[-1] if paths else None
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(self, state: RunState) -> str:
+        """Write ``state`` as the next serial checkpoint and prune old ones."""
+        paths = self.checkpoints()
+        if paths:
+            last = os.path.basename(paths[-1])
+            serial = int(_FILE_RE.match(last).group(1)) + 1
+        else:
+            serial = 0
+        path = os.path.join(self.directory, f"runstate-{serial:06d}.npz")
+        written = write_payload(path, state.to_payload())
+        self._prune()
+        return written
+
+    def load_latest(self) -> Tuple[RunState, str]:
+        """Newest checkpoint that verifies; falls back over corrupt files.
+
+        Raises :class:`FileNotFoundError` when the directory holds no
+        checkpoints at all, :class:`CheckpointCorruptError` when every
+        candidate fails verification.
+        """
+        paths = self.checkpoints()
+        if not paths:
+            raise FileNotFoundError(f"no checkpoints in {self.directory}")
+        failures = []
+        for path in reversed(paths):
+            try:
+                return RunState.from_payload(read_payload(path)), path
+            except (CheckpointCorruptError, RunStateError) as exc:
+                failures.append(str(exc))
+        raise CheckpointCorruptError(
+            "every checkpoint failed verification:\n  " + "\n  ".join(failures)
+        )
+
+    def _prune(self) -> None:
+        paths = self.checkpoints()
+        for path in paths[: max(0, len(paths) - self.keep)]:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def load_run_state(path: str) -> RunState:
+    """Read and verify one explicit checkpoint file (no fallback)."""
+    return RunState.from_payload(read_payload(path))

@@ -1,0 +1,97 @@
+"""Deterministic fault injection for resilience testing and drills.
+
+The injectors reproduce the three failure families the runtime defends
+against, at exactly reproducible points:
+
+* :class:`FaultInjector` — hooks called by the trainer's batch loop.
+  ``kill_at_batch`` raises :class:`SimulatedCrash` before batch *k*
+  (the "kill -9 between batches" stand-in that leaves whatever was
+  checkpointed on disk); ``nan_loss_at`` poisons the loss of selected
+  batches with NaN so the sentinel path is exercised;
+  ``signal_at_batch`` delivers a real SIGTERM to the current process to
+  drill the graceful-interrupt path end to end.
+* :func:`truncate_file` / :func:`flip_bit` — deterministic checkpoint
+  corruption, modelling a partial write and silent media decay.
+
+Batch indices are *global* (monotone across epochs, counting every
+non-empty training batch the loop reaches), so an injection point is
+stable under resume: a resumed run restores the global counter from the
+checkpoint and the injector fires — or stays quiet — exactly as it
+would have in the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class SimulatedCrash(RuntimeError):
+    """Stand-in for a hard process kill between batches."""
+
+
+class FaultInjector:
+    """Deterministic batch-indexed fault plan for the training loop."""
+
+    def __init__(
+        self,
+        nan_loss_at: Iterable[int] = (),
+        kill_at_batch: Optional[int] = None,
+        signal_at_batch: Optional[int] = None,
+    ):
+        self.nan_loss_at = frozenset(int(b) for b in nan_loss_at)
+        self.kill_at_batch = kill_at_batch
+        self.signal_at_batch = signal_at_batch
+        self.injected_nans = 0
+
+    def on_batch_start(self, global_batch: int) -> None:
+        """Called before the forward pass of every batch."""
+        if self.kill_at_batch is not None and global_batch == self.kill_at_batch:
+            raise SimulatedCrash(f"simulated crash before batch {global_batch}")
+        if self.signal_at_batch is not None and global_batch == self.signal_at_batch:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    def poison_loss(self, loss, global_batch: int) -> None:
+        """Overwrite ``loss`` with NaN when this batch is marked."""
+        if global_batch in self.nan_loss_at:
+            loss.data = np.full_like(loss.data, np.nan)
+            self.injected_nans += 1
+
+
+# ----------------------------------------------------------------------
+# Checkpoint corruption (partial write / bit rot)
+# ----------------------------------------------------------------------
+def truncate_file(path: str, fraction: float = 0.5) -> int:
+    """Truncate ``path`` to ``fraction`` of its size; returns new size."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    size = os.path.getsize(path)
+    keep = int(size * fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def flip_bit(path: str, offset: Optional[int] = None, bit: int = 0) -> int:
+    """Flip one bit of ``path`` in place; returns the byte offset used.
+
+    The default offset is the middle of the file, which for an ``.npz``
+    archive lands inside array data — past the zip local headers, so the
+    corruption is only catchable by content verification.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"{path} is empty")
+    if offset is None:
+        offset = size // 2
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} out of range for size {size}")
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)[0]
+        fh.seek(offset)
+        fh.write(bytes([byte ^ (1 << bit)]))
+    return offset

@@ -1,0 +1,71 @@
+"""Graceful SIGINT/SIGTERM handling for long training runs.
+
+:class:`GracefulInterrupt` is a context manager that swaps in signal
+handlers which only set a flag; the training loop polls the flag at
+batch boundaries, writes a final checkpoint and raises
+:class:`TrainingInterrupted`.  The CLI maps that to
+:data:`EXIT_RESUMABLE` (75, ``EX_TEMPFAIL``) so schedulers can tell "re-
+queue me" apart from a real failure.
+
+Signal handlers can only be installed from the main thread; elsewhere
+(e.g. a worker thread running tests) the context manager degrades to an
+inert flag that never triggers.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Optional
+
+#: sysexits.h EX_TEMPFAIL — the run was interrupted but is resumable.
+EXIT_RESUMABLE = 75
+
+_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class TrainingInterrupted(RuntimeError):
+    """Raised by the trainer after checkpointing on SIGINT/SIGTERM.
+
+    ``checkpoint_path`` is the final checkpoint written before exiting
+    (None when the trainer has no checkpoint directory configured).
+    """
+
+    def __init__(self, message: str, checkpoint_path: Optional[str] = None,
+                 signal_number: Optional[int] = None):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.signal_number = signal_number
+
+
+class GracefulInterrupt:
+    """Context manager turning SIGINT/SIGTERM into a pollable flag."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.triggered = False
+        self.signal_number: Optional[int] = None
+        self._previous = {}
+
+    def _handler(self, signum, frame) -> None:
+        self.triggered = True
+        self.signal_number = signum
+
+    def __enter__(self) -> "GracefulInterrupt":
+        self.triggered = False
+        self.signal_number = None
+        if self.enabled and threading.current_thread() is threading.main_thread():
+            for sig in _SIGNALS:
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handler)
+                except (ValueError, OSError):
+                    pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()

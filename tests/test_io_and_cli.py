@@ -8,7 +8,13 @@ import pytest
 from repro.cli import build_parser, main
 from repro.core import RETIA, RETIAConfig
 from repro.graph import TemporalKG
-from repro.io import load_checkpoint, load_tkg_tsv, save_checkpoint, save_tkg_tsv
+from repro.io import (
+    TKGFormatError,
+    load_checkpoint,
+    load_tkg_tsv,
+    save_checkpoint,
+    save_tkg_tsv,
+)
 
 
 def tiny_graph():
@@ -51,6 +57,20 @@ class TestCheckpoint:
         _, config = load_checkpoint(path)
         assert config == {"dim": 8}
 
+    def test_missing_suffix_normalised_and_returned(self, tmp_path):
+        # np.savez silently appends .npz; the wrapper must report where
+        # the file actually landed instead of a phantom path.
+        requested = str(tmp_path / "ckpt")
+        written = save_checkpoint(requested, {"w": np.ones(2)})
+        assert written == requested + ".npz"
+        assert os.path.exists(written)
+        state, _ = load_checkpoint(written)
+        np.testing.assert_array_equal(state["w"], np.ones(2))
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        save_checkpoint(str(tmp_path / "ckpt.npz"), {"w": np.zeros(3)})
+        assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+
 
 class TestTSV:
     def test_roundtrip(self, tmp_path):
@@ -78,6 +98,62 @@ class TestTSV:
         loaded = load_tkg_tsv(path, num_entities=10, num_relations=3)
         assert loaded.num_entities == 10
 
+    def test_wrong_column_count_reports_line(self, tmp_path):
+        path = str(tmp_path / "bad.tsv")
+        with open(path, "w") as fh:
+            fh.write("0\t0\t1\t0\n0\t1\t2\n")
+        with pytest.raises(TKGFormatError) as excinfo:
+            load_tkg_tsv(path)
+        assert excinfo.value.line_number == 2
+        assert "4 tab-separated columns" in str(excinfo.value)
+        assert path in str(excinfo.value)
+
+    def test_non_integer_field_reports_line(self, tmp_path):
+        path = str(tmp_path / "bad.tsv")
+        with open(path, "w") as fh:
+            fh.write("# entities=4 relations=2\n0\tfoo\t1\t0\n")
+        with pytest.raises(TKGFormatError) as excinfo:
+            load_tkg_tsv(path)
+        assert excinfo.value.line_number == 2
+
+    def test_entity_id_out_of_declared_range(self, tmp_path):
+        path = str(tmp_path / "bad.tsv")
+        with open(path, "w") as fh:
+            fh.write("# entities=4 relations=2\n0\t0\t9\t0\n")
+        with pytest.raises(TKGFormatError) as excinfo:
+            load_tkg_tsv(path)
+        assert "entity id 9" in str(excinfo.value)
+
+    def test_relation_id_out_of_explicit_range(self, tmp_path):
+        path = str(tmp_path / "bad.tsv")
+        with open(path, "w") as fh:
+            fh.write("0\t5\t1\t0\n")
+        with pytest.raises(TKGFormatError) as excinfo:
+            load_tkg_tsv(path, num_entities=10, num_relations=3)
+        assert "relation id 5" in str(excinfo.value)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.tsv")
+        with open(path, "w") as fh:
+            fh.write("0\t0\t-1\t0\n")
+        with pytest.raises(TKGFormatError):
+            load_tkg_tsv(path)
+
+    def test_malformed_header_reports_line(self, tmp_path):
+        path = str(tmp_path / "bad.tsv")
+        with open(path, "w") as fh:
+            fh.write("# entities=lots relations=2\n")
+        with pytest.raises(TKGFormatError) as excinfo:
+            load_tkg_tsv(path)
+        assert excinfo.value.line_number == 1
+
+    def test_inferred_vocab_unchanged_by_validation(self, tmp_path):
+        # No declared vocab: ids are inferred, never range-checked.
+        path = str(tmp_path / "raw.tsv")
+        with open(path, "w") as fh:
+            fh.write("0\t1\t5\t0\n")
+        assert load_tkg_tsv(path).num_entities == 6
+
 
 class TestCLI:
     def test_parser_requires_command(self):
@@ -103,3 +179,15 @@ class TestCLI:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--dataset", "FREEBASE"])
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["train", "--dataset", "YAGO", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_drill_nan_loss(self, capsys):
+        assert main(
+            ["drill", "--dataset", "YAGO", "--fault", "nan-loss",
+             "--at-batch", "2", "--epochs", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parameters finite: True" in out
