@@ -45,7 +45,6 @@ def naive_hyperrelation_edges(snapshot):
 def dense_rgcn_aggregate(nodes, edge_embeddings, edges, norms, num_nodes, weight_bank, self_weight):
     """Reference dense-adjacency aggregation for one R-GCN layer."""
     out = nodes @ self_weight
-    dim = nodes.shape[1]
     per_type = defaultdict(list)
     for (src, etype, dst), norm in zip(edges, norms):
         per_type[int(etype)].append((int(src), int(dst), float(norm)))

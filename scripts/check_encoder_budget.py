@@ -6,10 +6,16 @@ surrogate and compares the measured per-step encoder time against the
 checked-in baseline (``benchmarks/encoder_baseline.json``).  The run
 fails when the measured time exceeds ``baseline * tolerance`` (default
 2x, generous enough to absorb CI hardware variation while still
-catching an accidental return to the per-edge-type Python loop).
+catching an accidental return to the per-edge-type Python loop).  A
+missing or unreadable baseline is a hard failure — a silently absent
+budget is the same as no gate at all.
+
+The measurement is also emitted in the :class:`repro.obs.MetricsRegistry`
+JSON format (``--metrics-out``), which CI uploads as a build artifact.
 
 Usage:
-    PYTHONPATH=src python scripts/check_encoder_budget.py [--tolerance 2.0]
+    PYTHONPATH=src python scripts/check_encoder_budget.py \
+        [--tolerance 2.0] [--metrics-out encoder_metrics.json]
 """
 
 from __future__ import annotations
@@ -20,8 +26,27 @@ import sys
 from pathlib import Path
 
 from repro.bench import benchmark_encoder
+from repro.obs import MetricsRegistry
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "encoder_baseline.json"
+
+
+def load_baseline(path: Path) -> dict:
+    """The checked-in budget; any problem reading it fails the gate."""
+    try:
+        baseline = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"FAIL: baseline file {path} is missing — the encoder budget gate "
+            "cannot run. Restore it or regenerate with --update-baseline "
+            "against a known-good checkout."
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"FAIL: baseline file {path} is unreadable: {exc}")
+    missing = [key for key in ("dataset", "encoder_seconds_per_step") if key not in baseline]
+    if missing:
+        raise SystemExit(f"FAIL: baseline file {path} lacks required keys {missing}")
+    return baseline
 
 
 def main() -> int:
@@ -37,13 +62,21 @@ def main() -> int:
         action="store_true",
         help="write the measured timings back to the baseline file",
     )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the measurement as MetricsRegistry JSON to this path",
+    )
     args = parser.parse_args()
 
-    baseline = json.loads(BASELINE_PATH.read_text())
-    result = benchmark_encoder(baseline["dataset"])
+    baseline = load_baseline(BASELINE_PATH)
+    registry = MetricsRegistry()
+    result = benchmark_encoder(baseline["dataset"], registry=registry)
     encoder_ms = result["encoder_seconds_per_step"] * 1000
     full_ms = result["seconds_per_step"] * 1000
     budget_ms = baseline["encoder_seconds_per_step"] * 1000 * args.tolerance
+    registry.gauge(
+        "encoder_budget_seconds", help="baseline * tolerance, the failure threshold"
+    ).set(budget_ms / 1000, dataset=result["dataset"])
 
     print(f"dataset:            {result['dataset']} ({result['steps']} steps)")
     print(f"encoder step:       {encoder_ms:.2f} ms")
@@ -54,6 +87,10 @@ def main() -> int:
     for name, stats in result["phases"].items():
         print(f"  phase {name:<11} {stats['seconds'] * 1000:8.1f} ms "
               f"over {stats['calls']} calls")
+
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(registry.to_json() + "\n")
+        print(f"metrics written to {args.metrics_out}")
 
     if args.update_baseline:
         baseline["encoder_seconds_per_step"] = result["encoder_seconds_per_step"]

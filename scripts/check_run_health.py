@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""CI telemetry gate: assert run-report invariants on a ``run.jsonl``.
+
+Reads a JSONL run report written by ``repro.cli train --run-report`` and
+checks that the run is *reconstructible and healthy*:
+
+* the file parses, every event matches its schema, and the ``seq``
+  counter is strictly monotone from 0 (no dropped or reordered events);
+* the report is properly terminated — first event ``run_start``, last
+  event ``run_end`` with an expected status;
+* epoch numbers are strictly increasing and ``global_batch`` never goes
+  backwards;
+* the span tree is balanced: every epoch closed all spans it opened and
+  dropped none;
+* per-phase time is sane (non-negative, phases fit inside the epoch)
+  and the encoder phases (hypergraph + ram + eam) stay within their
+  share budget of epoch time — a silently exploding encoder fails CI
+  before it shows up as a drifting benchmark table;
+* every non-finite skip counted on an epoch is explained by exactly one
+  ``nonfinite_skip`` event with a stage.
+
+Exit code 0 when every check passes, 1 otherwise (one line per
+violation).  Run this against a corrupted/truncated log and it fails —
+that failure mode is itself exercised in CI.
+
+Usage:
+    PYTHONPATH=src python scripts/check_run_health.py run.jsonl \
+        [--max-encoder-share 0.85] [--allow-status interrupted]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import RUN_END_STATUSES, ReportError, read_events
+
+ENCODER_PHASES = ("hypergraph", "ram", "eam")
+#: Tolerance on "phases fit inside the epoch" (timer overhead jitter).
+PHASE_SUM_SLACK = 1.05
+
+
+def _phase_seconds(epoch_event: dict) -> dict:
+    out = {}
+    for name, stats in (epoch_event.get("phase_seconds") or {}).items():
+        out[name] = stats["seconds"] if isinstance(stats, dict) else float(stats)
+    return out
+
+
+def check_events(events: list, max_encoder_share: float, allowed_statuses) -> list:
+    """All invariant violations found (empty means healthy)."""
+    problems = []
+
+    if not events:
+        return ["report is empty"]
+    if events[0]["event"] != "run_start":
+        problems.append(f"first event is {events[0]['event']!r}, expected run_start")
+    if events[-1]["event"] != "run_end":
+        problems.append(
+            f"last event is {events[-1]['event']!r}, expected run_end "
+            "(truncated run?)"
+        )
+    else:
+        status = events[-1]["status"]
+        if status not in RUN_END_STATUSES:
+            problems.append(f"run_end has unknown status {status!r}")
+        elif status not in allowed_statuses:
+            problems.append(
+                f"run ended with status {status!r}, allowed: {sorted(allowed_statuses)}"
+            )
+
+    epochs = [e for e in events if e["event"] == "epoch"]
+    skips = [e for e in events if e["event"] == "nonfinite_skip"]
+
+    # Monotone counters beyond seq (which read_events already enforced).
+    last_epoch = None
+    for e in epochs:
+        if last_epoch is not None and e["epoch"] <= last_epoch:
+            problems.append(
+                f"epoch numbers not strictly increasing ({last_epoch} -> {e['epoch']})"
+            )
+        last_epoch = e["epoch"]
+    last_gb = None
+    for e in events:
+        if "global_batch" in e:
+            if last_gb is not None and e["global_batch"] < last_gb:
+                problems.append(
+                    f"global_batch went backwards ({last_gb} -> {e['global_batch']}) "
+                    f"at seq {e['seq']}"
+                )
+            last_gb = e["global_batch"]
+
+    # Span tree balance and per-phase sanity.
+    total_epoch_seconds = 0.0
+    total_encoder_seconds = 0.0
+    for e in epochs:
+        if e.get("spans_open", 0) != 0:
+            problems.append(
+                f"epoch {e['epoch']}: {e['spans_open']} span(s) left open "
+                "(unbalanced span tree)"
+            )
+        if e.get("spans_dropped", 0) != 0:
+            problems.append(
+                f"epoch {e['epoch']}: {e['spans_dropped']} span(s) dropped "
+                "(collector overflow)"
+            )
+        phases = _phase_seconds(e)
+        negative = [name for name, sec in phases.items() if sec < 0]
+        if negative:
+            problems.append(f"epoch {e['epoch']}: negative phase seconds {negative}")
+        phase_sum = sum(phases.values())
+        if e["seconds"] > 0 and phase_sum > e["seconds"] * PHASE_SUM_SLACK:
+            problems.append(
+                f"epoch {e['epoch']}: phases sum to {phase_sum:.3f}s but the epoch "
+                f"took {e['seconds']:.3f}s (double-counted spans?)"
+            )
+        total_epoch_seconds += e["seconds"]
+        total_encoder_seconds += sum(phases.get(name, 0.0) for name in ENCODER_PHASES)
+
+    if epochs and total_epoch_seconds > 0:
+        share = total_encoder_seconds / total_epoch_seconds
+        if share > max_encoder_share:
+            problems.append(
+                f"encoder phases take {share * 100:.1f}% of epoch time, "
+                f"budget is {max_encoder_share * 100:.1f}% "
+                "(one encoder component is dominating the step)"
+            )
+
+    # Non-finite accounting: every counted skip has an explaining event.
+    skips_by_epoch = {}
+    for s in skips:
+        skips_by_epoch[s["epoch"]] = skips_by_epoch.get(s["epoch"], 0) + 1
+        if not s.get("stage"):
+            problems.append(f"nonfinite_skip at seq {s['seq']} has no stage")
+    for e in epochs:
+        explained = skips_by_epoch.get(e["epoch"], 0)
+        if explained != e["nonfinite_skips"]:
+            problems.append(
+                f"epoch {e['epoch']}: {e['nonfinite_skips']} skip(s) counted but "
+                f"{explained} nonfinite_skip event(s) emitted (unexplained skips)"
+            )
+    orphans = set(skips_by_epoch) - {e["epoch"] for e in epochs}
+    # Skips in an epoch that never completed (interrupted run) are fine
+    # only when the run did not end "completed".
+    if orphans and events[-1].get("status") == "completed":
+        problems.append(f"nonfinite_skip events for unlogged epochs {sorted(orphans)}")
+
+    # Epoch count consistency (fresh runs only: a resumed run's
+    # epochs_completed includes epochs logged in the previous report).
+    start = events[0]
+    end = events[-1]
+    if (
+        end["event"] == "run_end"
+        and start["event"] == "run_start"
+        and not start.get("resumed", False)
+        and end["epochs_completed"] != len(epochs)
+    ):
+        problems.append(
+            f"run_end claims {end['epochs_completed']} epoch(s) but "
+            f"{len(epochs)} epoch event(s) were logged"
+        )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to the run.jsonl file")
+    parser.add_argument(
+        "--max-encoder-share",
+        type=float,
+        default=0.85,
+        help="budget for (hypergraph+ram+eam) share of epoch time",
+    )
+    parser.add_argument(
+        "--allow-status",
+        action="append",
+        default=None,
+        help="acceptable run_end status (repeatable; default: completed)",
+    )
+    args = parser.parse_args()
+    allowed = set(args.allow_status or ["completed"])
+
+    try:
+        events = read_events(args.report)
+    except OSError as exc:
+        print(f"FAIL: cannot read {args.report}: {exc}")
+        return 1
+    except ReportError as exc:
+        print(f"FAIL: malformed run report: {exc}")
+        return 1
+
+    problems = check_events(events, args.max_encoder_share, allowed)
+    epochs = sum(1 for e in events if e["event"] == "epoch")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"OK: {args.report} is healthy "
+        f"({len(events)} events, {epochs} epoch(s), seq monotone, spans balanced, "
+        f"all non-finite skips explained)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,6 @@ relation modeling.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Optional
 

@@ -16,7 +16,6 @@ over the full candidate set and adapts it to the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ copy distribution on top of RE-GCN's local scores.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -7,8 +7,6 @@ All models embed the doubled relation space ``[0, 2M)`` so inverse
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.autograd import Tensor
@@ -17,7 +15,7 @@ from repro.baselines.base import TripleScorer
 from repro.core.decoder import ConvTransE
 from repro.core.rgcn import RGCNStack
 from repro.graph import TemporalKG
-from repro.nn import Embedding, Linear, Conv2d, Dropout, Parameter, init
+from repro.nn import Embedding, Linear, Conv2d, Dropout, Parameter
 from repro.utils import seeded_rng
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro import timing
+from repro.obs import MetricsRegistry
 
 from repro.baselines import (
     CEN,
@@ -275,6 +276,8 @@ def benchmark_encoder(
     warmup: bool = True,
     use_cache: bool = True,
     seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+    reporter=None,
 ) -> Dict:
     """Time RETIA training steps with a per-phase encoder breakdown.
 
@@ -284,12 +287,17 @@ def benchmark_encoder(
     passing this PR fuses), and ``seconds_per_step`` times the full
     training batch (``loss_on_snapshot`` + ``backward``).  The phase
     breakdown (hypergraph build / RAM / EAM / decoder) comes from the
-    :mod:`repro.timing` instrumentation inside the model.
+    :mod:`repro.obs.tracing` span instrumentation inside the model.
 
     ``warmup`` runs one untimed epoch first so measured steps see a warm
     :class:`~repro.graph.SnapshotCache` (steady-state training cost);
     ``use_cache=False`` sizes the cache to zero instead, measuring the
     uncached per-step cost.
+
+    A :class:`~repro.obs.MetricsRegistry` passed as ``registry`` receives
+    the measurement as labeled gauges/counters (the JSON format the CI
+    budget gate uploads); a :class:`~repro.obs.RunReporter` passed as
+    ``reporter`` gets one ``bench`` event with the same payload.
     """
     dataset = bench_dataset(dataset_name)
     profile = BENCH_PROFILES[dataset_name]
@@ -323,7 +331,7 @@ def benchmark_encoder(
     total = time.perf_counter() - start
 
     steps = max(1, len(snapshots))
-    return {
+    result = {
         "dataset": dataset_name,
         "steps": len(snapshots),
         "encoder_seconds_per_step": encoder_total / steps,
@@ -337,6 +345,43 @@ def benchmark_encoder(
             "misses": model.snapshot_cache.misses,
         },
     }
+    if registry is not None:
+        record_encoder_metrics(registry, result)
+    if reporter is not None:
+        scratch = registry if registry is not None else MetricsRegistry()
+        if registry is None:
+            record_encoder_metrics(scratch, result)
+        reporter.emit("bench", name="encoder", metrics=scratch.to_dict(), result=result)
+    return result
+
+
+def record_encoder_metrics(registry: MetricsRegistry, result: Dict) -> None:
+    """Write one :func:`benchmark_encoder` result into ``registry``.
+
+    Gauges are labeled by dataset so repeated runs over different
+    datasets land in distinct series of the same metric family.
+    """
+    labels = {"dataset": result["dataset"]}
+    registry.gauge(
+        "encoder_seconds_per_step", help="one traced evolve() pass per training step"
+    ).set(result["encoder_seconds_per_step"], **labels)
+    registry.gauge(
+        "train_seconds_per_step", help="full training step (loss + backward)"
+    ).set(result["seconds_per_step"], **labels)
+    registry.counter("bench_steps_total", help="timed training steps").inc(
+        result["steps"], **labels
+    )
+    for phase_name, stats in result["phases"].items():
+        registry.gauge(
+            "phase_seconds", help="per-phase wall-clock over the timed loop"
+        ).set(stats["seconds"], dataset=result["dataset"], phase=phase_name)
+    cache = result["cache"]
+    registry.counter("snapshot_cache_hits_total", help="SnapshotCache hits").inc(
+        cache["hits"], **labels
+    )
+    registry.counter("snapshot_cache_misses_total", help="SnapshotCache misses").inc(
+        cache["misses"], **labels
+    )
 
 
 _CACHE: Dict[Tuple[str, str], TrainedMethod] = {}

@@ -13,16 +13,20 @@ Usage (after ``pip install -e .``)::
 ``.npz`` checkpoint; with ``--checkpoint-dir`` it also maintains
 atomic, checksummed run-state checkpoints, exits with status 75
 (``EX_TEMPFAIL``) on SIGINT/SIGTERM, and ``--resume`` continues from
-the newest good checkpoint.  ``evaluate`` reloads a model and runs the
-paper's test protocol (optionally with online continuous training).
-``drill`` runs the fault-injection harness (NaN loss, mid-run kill,
-checkpoint corruption) against a short training run and reports whether
-the runtime recovered.
+the newest good checkpoint.  With ``--run-report run.jsonl`` the whole
+run streams schema-validated JSONL telemetry (one event per epoch /
+eval / checkpoint / non-finite skip) that ``report`` reconstructs and
+``scripts/check_run_health.py`` gates on in CI.  ``evaluate`` reloads a
+model and runs the paper's test protocol (optionally with online
+continuous training).  ``drill`` runs the fault-injection harness (NaN
+loss, mid-run kill, checkpoint corruption) against a short training run
+and reports whether the runtime recovered.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 
@@ -33,6 +37,7 @@ from repro.datasets import DATASET_PROFILES, dataset_statistics, load_dataset
 from repro.eval import evaluate_extrapolation
 from repro.graph import build_hyperrelation_graph
 from repro.io import load_checkpoint, save_checkpoint
+from repro.obs import ReportError, RunReporter, read_events, summarize_run
 from repro.resilience import (
     EXIT_RESUMABLE,
     CheckpointManager,
@@ -81,10 +86,12 @@ def cmd_train(args: argparse.Namespace) -> int:
         keep=args.keep,
         checkpoint_every_batches=args.checkpoint_every,
     )
+    reporter = RunReporter(args.run_report) if args.run_report else None
     trainer = Trainer(
         model,
         TrainerConfig(epochs=args.epochs, patience=args.patience, seed=args.seed),
         resilience=resilience,
+        reporter=reporter,
     )
     try:
         log = trainer.fit(dataset.train, dataset.valid, resume=args.resume or None)
@@ -97,12 +104,17 @@ def cmd_train(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return EXIT_RESUMABLE
+    finally:
+        if reporter is not None:
+            reporter.close()
     for entry in log:
         valid = f" valid_mrr={entry.valid_mrr:.2f}" if entry.valid_mrr is not None else ""
         skips = f" nonfinite_skips={entry.nonfinite_skips}" if entry.nonfinite_skips else ""
         print(f"epoch {entry.epoch}: loss={entry.loss_joint:.4f}{valid}{skips}")
     written = save_checkpoint(args.out, model.state_dict(), config)
     print(f"checkpoint written to {written}")
+    if args.run_report:
+        print(f"run report written to {args.run_report}")
     return 0
 
 
@@ -118,14 +130,67 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     for t in dataset.valid.timestamps:
         model.observe(dataset.valid.snapshot(int(t)))
     model.eval()
-    if args.online:
-        trainer = Trainer(model, TrainerConfig(online_steps=args.online_steps))
-        target = trainer.online_adapter()
-    else:
-        target = model
-    result = evaluate_extrapolation(target, dataset.test)
+    reporter = RunReporter(args.run_report) if args.run_report else None
+    try:
+        if args.online:
+            trainer = Trainer(model, TrainerConfig(online_steps=args.online_steps))
+            target = trainer.online_adapter(reporter=reporter)
+        else:
+            target = model
+        result = evaluate_extrapolation(target, dataset.test)
+    finally:
+        if reporter is not None:
+            reporter.close()
     print("entity  :", {k: round(v, 2) for k, v in result.entity.items()})
     print("relation:", {k: round(v, 2) for k, v in result.relation.items()})
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Reconstruct a run from its JSONL telemetry report."""
+    try:
+        events = read_events(args.report, strict=not args.no_validate)
+    except (OSError, ReportError) as exc:
+        print(f"unreadable run report: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_run(events)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    print(f"run:      {summary['command'] or '?'}  ({summary['num_events']} events)")
+    print(f"status:   {summary['status']}")
+    if summary["config"]:
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(summary["config"].items()))
+        print(f"config:   {knobs}")
+    if summary["epochs"]:
+        print("epoch  loss_joint  loss_ent  loss_rel        lr  skips  valid_mrr  seconds")
+        for e in summary["epochs"]:
+            mrr = f"{e['valid_mrr']:9.4f}" if e.get("valid_mrr") is not None else "        -"
+            print(
+                f"{e['epoch']:5d}  {e['loss_joint']:10.4f}  {e['loss_entity']:8.4f}  "
+                f"{e['loss_relation']:8.4f}  {e['lr']:8.2e}  {e['nonfinite_skips']:5d}  "
+                f"{mrr}  {e['seconds']:7.2f}"
+            )
+    if summary["phase_share"]:
+        shares = "  ".join(
+            f"{name} {share * 100:.1f}%"
+            for name, share in summary["phase_share"].items()
+        )
+        print(f"phases:   {shares} (of {summary['epoch_seconds']:.2f}s epoch time)")
+    if summary["checkpoints"]:
+        kinds = {}
+        for c in summary["checkpoints"]:
+            kinds[c["kind"]] = kinds.get(c["kind"], 0) + 1
+        detail = ", ".join(f"{count}x {kind}" for kind, count in sorted(kinds.items()))
+        print(f"checkpoints: {len(summary['checkpoints'])} ({detail})")
+    skips = summary["nonfinite_skips"]
+    print(
+        f"nonfinite skips: {skips['total']} total, {skips['explained']} explained"
+        + (f" (stages: {', '.join(skips['stages'])})" if skips["stages"] else "")
+    )
+    if summary["observes"]:
+        print(f"online observes: {summary['observes']}")
     return 0
 
 
@@ -237,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--keep", type=int, default=3, help="checkpoints to retain")
     train.add_argument(
+        "--run-report",
+        help="stream JSONL run telemetry (epochs, evals, checkpoints, skips) here",
+    )
+    train.add_argument(
         "--checkpoint-every",
         type=int,
         default=0,
@@ -249,7 +318,25 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--checkpoint", required=True)
     evaluate.add_argument("--online", action="store_true", help="online continuous training")
     evaluate.add_argument("--online-steps", type=int, default=1)
+    evaluate.add_argument(
+        "--run-report",
+        help="stream JSONL observe telemetry (with --online) here",
+    )
     evaluate.set_defaults(handler=cmd_evaluate)
+
+    report = commands.add_parser(
+        "report", help="summarise a JSONL run report written by train --run-report"
+    )
+    report.add_argument("report", help="path to the run.jsonl file")
+    report.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    report.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip schema validation while parsing (inspect damaged logs)",
+    )
+    report.set_defaults(handler=cmd_report)
 
     hyper = commands.add_parser("hypergraph", help="inspect a hyperrelation subgraph")
     _add_dataset_argument(hyper)

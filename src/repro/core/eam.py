@@ -15,6 +15,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.graph import Snapshot
 from repro.nn import GRUCell, Module
+from repro.obs import tracing
 from repro.core.rgcn import RGCNStack
 
 
@@ -72,5 +73,7 @@ class EntityAggregationModule(Module):
         if edges is None:
             edges = snapshot.edges_with_inverse
             edge_norm = snapshot.edge_norm
-        aggregated = self.gcn(entity_prev, relation_embeddings, edges, edge_norm)
-        return self.gru(aggregated, entity_prev)
+        with tracing.span("eam.gcn", edges=len(edges)):
+            aggregated = self.gcn(entity_prev, relation_embeddings, edges, edge_norm)
+        with tracing.span("eam.gru"):
+            return self.gru(aggregated, entity_prev)

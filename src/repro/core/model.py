@@ -29,7 +29,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro import timing
 from repro.autograd import Tensor, no_grad
 from repro.autograd import functional as F
 from repro.core.decoder import ConvTransE
@@ -45,6 +44,7 @@ from repro.graph import (
     TemporalKG,
 )
 from repro.nn import Module, Parameter, init, losses
+from repro.obs import tracing
 from repro.utils import l2_normalize_rows, seeded_rng
 
 RELATION_MODES = ("none", "mp", "mp_lstm", "full")
@@ -178,7 +178,6 @@ class RETIA(Module):
         decoding is always possible.
         """
         cfg = self.config
-        m = cfg.num_relations
         entity = l2_normalize_rows(self.entity_embedding)
         relation = self.relation_embedding
         hyper = self.hyper_embedding
@@ -191,9 +190,9 @@ class RETIA(Module):
         entity_list: List[Tensor] = []
         relation_list: List[Tensor] = []
         for snapshot in history:
-            with timing.phase("hypergraph"):
+            with tracing.span("hypergraph", time=snapshot.time, facts=len(snapshot)):
                 artifacts = self.snapshot_cache.artifacts(snapshot)
-            with timing.phase("ram"):
+            with tracing.span("ram", hyper_edges=len(artifacts.hyper_edges)):
                 relation = self._relation_step(
                     snapshot, artifacts, entity, relation, hyper, cell, hyper_cell
                 )
@@ -203,7 +202,7 @@ class RETIA(Module):
                 eam_relations = (
                     relation if cfg.use_tim else self.eam_relation_embedding
                 )
-                with timing.phase("eam"):
+                with tracing.span("eam", edges=len(artifacts.entity_edges)):
                     entity = self.eam(
                         entity,
                         eam_relations,
@@ -304,7 +303,7 @@ class RETIA(Module):
             entity_list, relation_list = entity_list[-1:], relation_list[-1:]
         queries = np.asarray(queries, dtype=np.int64)
         probs = []
-        with timing.phase("decoder"):
+        with tracing.span("decoder", queries=len(queries), snapshots=len(entity_list)):
             for entity, relation in zip(entity_list, relation_list):
                 subj = entity.gather_rows(queries[:, 0])
                 rel = relation.gather_rows(queries[:, 1])
@@ -320,7 +319,7 @@ class RETIA(Module):
         pairs = np.asarray(pairs, dtype=np.int64)
         m = self.config.num_relations
         probs = []
-        with timing.phase("decoder"):
+        with tracing.span("decoder", queries=len(pairs), snapshots=len(entity_list)):
             for entity, relation in zip(entity_list, relation_list):
                 subj = entity.gather_rows(pairs[:, 0])
                 obj = entity.gather_rows(pairs[:, 1])

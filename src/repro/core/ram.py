@@ -17,6 +17,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.graph import NUM_HYPERRELATIONS, HyperSnapshot
 from repro.nn import GRUCell, Module
+from repro.obs import tracing
 from repro.core.rgcn import RGCNStack
 
 
@@ -78,5 +79,7 @@ class RelationAggregationModule(Module):
         if edges is None:
             edges = hyper_snapshot.edges
             edge_norm = hyper_snapshot.edge_norm
-        aggregated = self.gcn(relation_lstm, hyper_embeddings, edges, edge_norm)
-        return self.gru(aggregated, relation_lstm)
+        with tracing.span("ram.gcn", edges=len(edges)):
+            aggregated = self.gcn(relation_lstm, hyper_embeddings, edges, edge_norm)
+        with tracing.span("ram.gru"):
+            return self.gru(aggregated, relation_lstm)

@@ -25,10 +25,13 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+import time
+
 from repro.core.model import RETIA
 from repro.eval import evaluate_extrapolation
 from repro.graph import Snapshot, TemporalKG
 from repro.nn import Adam
+from repro.obs import SCHEMA_VERSION, RunReporter, tracing
 from repro.resilience import (
     STATUS_COMPLETED,
     STATUS_INTERRUPTED,
@@ -84,15 +87,19 @@ class Trainer:
         config: TrainerConfig = TrainerConfig(),
         resilience: Optional[ResilienceConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        reporter: Optional[RunReporter] = None,
     ):
         self.model = model
         self.config = config
         self.resilience = resilience or ResilienceConfig(handle_signals=False)
         self.fault_injector = fault_injector
+        self.reporter = reporter
         self.optimizer = Adam(
             model.parameters(), lr=config.lr, weight_decay=config.weight_decay
         )
         self.guard = NonFiniteGuard(self.optimizer, self.resilience.sentinel_config())
+        if reporter is not None:
+            self.guard.on_skip = self._report_skip
         self.checkpoints: Optional[CheckpointManager] = None
         if self.resilience.checkpoint_dir is not None:
             self.checkpoints = CheckpointManager(
@@ -101,6 +108,29 @@ class Trainer:
         self.log: List[EpochLog] = []
         self._rng = seeded_rng(config.seed)
         self._global_batch = 0
+        self._current_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Run-report emission (all no-ops when no reporter is attached)
+    # ------------------------------------------------------------------
+    def _report_skip(self, stage: str) -> None:
+        self.reporter.emit(
+            "nonfinite_skip",
+            epoch=self._current_epoch,
+            global_batch=self._global_batch,
+            stage=stage,
+            lr=self.optimizer.lr,
+        )
+
+    def _report_checkpoint(self, path: Optional[str], epoch: int, kind: str) -> None:
+        if self.reporter is not None and path is not None:
+            self.reporter.emit(
+                "checkpoint",
+                path=path,
+                epoch=epoch,
+                global_batch=self._global_batch,
+                kind=kind,
+            )
 
     # ------------------------------------------------------------------
     # Run-state capture / restore
@@ -184,7 +214,35 @@ class Trainer:
         back over corrupt files), a path loads that exact file, and a
         :class:`~repro.resilience.RunState` is used directly.  Returns
         the per-epoch loss log (also kept on ``self.log``).
+
+        With a :class:`~repro.obs.RunReporter` attached, the run streams
+        one JSONL event per epoch / evaluation / checkpoint / non-finite
+        skip, terminated by a ``run_end`` whose status reflects how the
+        run actually ended (``completed`` / ``interrupted`` /
+        ``failed``).
         """
+        try:
+            return self._fit(train, valid, resume)
+        except TrainingInterrupted:
+            self._report_end("interrupted")
+            raise
+        except BaseException:
+            self._report_end("failed")
+            raise
+
+    def _report_end(self, status: str) -> None:
+        # Only close a report this fit actually opened (run_start first).
+        if self.reporter is not None and self.reporter.seq > 0:
+            self.reporter.emit(
+                "run_end", status=status, epochs_completed=len(self.log)
+            )
+
+    def _fit(
+        self,
+        train: TemporalKG,
+        valid: Optional[TemporalKG],
+        resume: Union[None, bool, str, RunState],
+    ) -> List[EpochLog]:
         cfg = self.config
         res = self.resilience
         model = self.model
@@ -194,10 +252,23 @@ class Trainer:
         target_times = [int(t) for t in train.timestamps[1:]]
 
         state = self._resolve_resume(resume)
+        if self.reporter is not None:
+            self.reporter.emit(
+                "run_start",
+                schema_version=SCHEMA_VERSION,
+                command="Trainer.fit",
+                config=asdict(cfg),
+                resumed=state is not None,
+                batches_per_epoch=len(target_times),
+            )
         if state is not None:
             self._restore(state)
             if state.status == STATUS_COMPLETED:
                 model.eval()
+                if self.reporter is not None:
+                    self.reporter.emit(
+                        "run_end", status="completed", epochs_completed=len(self.log)
+                    )
                 return self.log
             start_epoch = state.epoch
             best_metric = state.best_metric
@@ -214,6 +285,7 @@ class Trainer:
         every = res.checkpoint_every_batches if self.checkpoints else 0
         with GracefulInterrupt(enabled=res.handle_signals) as interrupt:
             for epoch in range(start_epoch, cfg.epochs):
+                self._current_epoch = epoch
                 model.train()
                 if pending is not None:
                     order = list(pending.order)
@@ -236,44 +308,62 @@ class Trainer:
                         "batches": 0, "nonfinite": 0,
                     }
 
-                for index in range(start_index, len(order)):
-                    snapshot = train.snapshot(order[index])
-                    if snapshot.is_empty:
-                        continue
-                    if self.fault_injector is not None:
-                        self.fault_injector.on_batch_start(self._global_batch)
-                    joint, loss_e, loss_r = model.loss_on_snapshot(snapshot)
-                    if self.fault_injector is not None:
-                        self.fault_injector.poison_loss(joint, self._global_batch)
-                    if self.guard.guarded_step(joint, cfg.grad_clip):
-                        model.mark_updated()
-                        sums["joint"] += joint.item()
-                        sums["entity"] += loss_e.item()
-                        sums["relation"] += loss_r.item()
-                        sums["batches"] += 1
-                    else:
-                        sums["nonfinite"] += 1
-                    self._global_batch += 1
+                # Telemetry: with a reporter attached, trace the batch
+                # loop's spans (hypergraph / ram / eam / decoder and
+                # their children) so the epoch event carries per-phase
+                # time shares and the span-balance invariant.
+                collector = (
+                    tracing.SpanCollector() if self.reporter is not None else None
+                )
+                epoch_start = time.perf_counter()
+                if collector is not None:
+                    span_guard = tracing.collect_spans(collector)
+                    span_guard.__enter__()
+                try:
+                    for index in range(start_index, len(order)):
+                        snapshot = train.snapshot(order[index])
+                        if snapshot.is_empty:
+                            continue
+                        if self.fault_injector is not None:
+                            self.fault_injector.on_batch_start(self._global_batch)
+                        joint, loss_e, loss_r = model.loss_on_snapshot(snapshot)
+                        if self.fault_injector is not None:
+                            self.fault_injector.poison_loss(joint, self._global_batch)
+                        if self.guard.guarded_step(joint, cfg.grad_clip):
+                            model.mark_updated()
+                            sums["joint"] += joint.item()
+                            sums["entity"] += loss_e.item()
+                            sums["relation"] += loss_r.item()
+                            sums["batches"] += 1
+                        else:
+                            sums["nonfinite"] += 1
+                        self._global_batch += 1
 
-                    if interrupt.triggered:
-                        path = None
-                        if self.checkpoints is not None:
+                        if interrupt.triggered:
+                            path = None
+                            if self.checkpoints is not None:
+                                path = self.checkpoints.save(self._capture(
+                                    epoch, index + 1, order, sums,
+                                    best_metric, best_state, bad_epochs,
+                                    STATUS_INTERRUPTED,
+                                ))
+                                self._report_checkpoint(path, epoch, "interrupt")
+                            raise TrainingInterrupted(
+                                f"interrupted by signal {interrupt.signal_number} "
+                                f"at epoch {epoch}, batch {index + 1}/{len(order)}",
+                                checkpoint_path=path,
+                                signal_number=interrupt.signal_number,
+                            )
+                        if every and self._global_batch % every == 0:
                             path = self.checkpoints.save(self._capture(
                                 epoch, index + 1, order, sums,
-                                best_metric, best_state, bad_epochs,
-                                STATUS_INTERRUPTED,
+                                best_metric, best_state, bad_epochs, STATUS_RUNNING,
                             ))
-                        raise TrainingInterrupted(
-                            f"interrupted by signal {interrupt.signal_number} "
-                            f"at epoch {epoch}, batch {index + 1}/{len(order)}",
-                            checkpoint_path=path,
-                            signal_number=interrupt.signal_number,
-                        )
-                    if every and self._global_batch % every == 0:
-                        self.checkpoints.save(self._capture(
-                            epoch, index + 1, order, sums,
-                            best_metric, best_state, bad_epochs, STATUS_RUNNING,
-                        ))
+                            self._report_checkpoint(path, epoch, "periodic")
+                finally:
+                    if collector is not None:
+                        span_guard.__exit__(None, None, None)
+                epoch_seconds = time.perf_counter() - epoch_start
 
                 # Average over the batches actually processed: empty
                 # snapshots and sentinel-skipped batches must not
@@ -291,9 +381,34 @@ class Trainer:
                 if valid is not None and len(valid):
                     entry.valid_mrr = self.validate(valid)
                     metric = entry.valid_mrr
+                    if self.reporter is not None:
+                        self.reporter.emit(
+                            "eval",
+                            epoch=epoch,
+                            metric="valid_mrr",
+                            value=entry.valid_mrr,
+                        )
                 else:
                     metric = -entry.loss_joint
                 self.log.append(entry)
+                if self.reporter is not None:
+                    self.reporter.emit(
+                        "epoch",
+                        epoch=epoch,
+                        loss_joint=entry.loss_joint,
+                        loss_entity=entry.loss_entity,
+                        loss_relation=entry.loss_relation,
+                        lr=entry.lr,
+                        nonfinite_skips=entry.nonfinite_skips,
+                        batches=sums["batches"],
+                        global_batch=self._global_batch,
+                        seconds=epoch_seconds,
+                        phase_seconds=collector.summary(max_depth=0),
+                        spans_open=collector.open_count,
+                        spans_recorded=len(collector.spans),
+                        spans_dropped=collector.dropped,
+                        valid_mrr=entry.valid_mrr,
+                    )
 
                 stop = False
                 if metric > best_metric + 1e-9:
@@ -309,10 +424,11 @@ class Trainer:
                         "joint": 0.0, "entity": 0.0, "relation": 0.0,
                         "batches": 0, "nonfinite": 0,
                     }
-                    self.checkpoints.save(self._capture(
+                    path = self.checkpoints.save(self._capture(
                         epoch + 1, 0, [], empty,
                         best_metric, best_state, bad_epochs, STATUS_RUNNING,
                     ))
+                    self._report_checkpoint(path, epoch + 1, "epoch")
                 if interrupt.triggered:
                     path = None
                     if self.checkpoints is not None:
@@ -335,10 +451,15 @@ class Trainer:
                 "joint": 0.0, "entity": 0.0, "relation": 0.0,
                 "batches": 0, "nonfinite": 0,
             }
-            self.checkpoints.save(self._capture(
+            path = self.checkpoints.save(self._capture(
                 cfg.epochs, 0, [], empty,
                 best_metric, best_state, bad_epochs, STATUS_COMPLETED,
             ))
+            self._report_checkpoint(path, cfg.epochs, "final")
+        if self.reporter is not None:
+            self.reporter.emit(
+                "run_end", status="completed", epochs_completed=len(self.log)
+            )
         return self.log
 
     def validate(self, valid: TemporalKG) -> float:
@@ -357,9 +478,11 @@ class Trainer:
     # ------------------------------------------------------------------
     # Online continuous training
     # ------------------------------------------------------------------
-    def online_adapter(self) -> "OnlineAdapter":
+    def online_adapter(self, reporter: Optional[RunReporter] = None) -> "OnlineAdapter":
         """Wrap the model for evaluation with online continuous training."""
-        return OnlineAdapter(self.model, self.config, self.resilience)
+        return OnlineAdapter(
+            self.model, self.config, self.resilience, reporter=reporter
+        )
 
 
 class OnlineAdapter:
@@ -379,9 +502,11 @@ class OnlineAdapter:
         model: RETIA,
         config: TrainerConfig,
         resilience: Optional[ResilienceConfig] = None,
+        reporter: Optional[RunReporter] = None,
     ):
         self.model = model
         self.config = config
+        self.reporter = reporter
         self.optimizer = Adam(model.parameters(), lr=config.online_lr)
         sentinel = (resilience or ResilienceConfig()).sentinel_config()
         self.guard = NonFiniteGuard(self.optimizer, sentinel)
@@ -399,11 +524,26 @@ class OnlineAdapter:
     def observe(self, snapshot: Snapshot) -> None:
         if snapshot.is_empty:
             self.model.record_snapshot(snapshot)
+            if self.reporter is not None:
+                self.reporter.emit(
+                    "observe", time=snapshot.time, facts=0, steps=0, skips=0
+                )
             return
+        skips_before = self.guard.total_skips
+        stepped = 0
         self.model.train()
         for _ in range(self.config.online_steps):
             joint, _, _ = self.model.loss_on_snapshot(snapshot)
             if self.guard.guarded_step(joint, self.config.grad_clip):
                 self.model.mark_updated()
+                stepped += 1
         self.model.eval()
         self.model.record_snapshot(snapshot)
+        if self.reporter is not None:
+            self.reporter.emit(
+                "observe",
+                time=snapshot.time,
+                facts=len(snapshot),
+                steps=stepped,
+                skips=self.guard.total_skips - skips_before,
+            )

@@ -1,0 +1,74 @@
+"""Run-wide observability: metrics, span tracing and JSONL run reports.
+
+Three dependency-free layers, designed so that *uninstrumented* code
+pays nothing (the hot-path contract checked by
+``scripts/check_encoder_budget.py``):
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with labeled series and one JSON
+  export format.
+* :mod:`repro.obs.tracing` — hierarchical :func:`span` blocks that
+  degrade to a no-op with nothing installed, feed the legacy flat
+  :class:`PhaseTimer` under :func:`collect`, and record full
+  parent/child trees with per-span metadata under
+  :func:`collect_spans`.
+* :mod:`repro.obs.report` — a :class:`RunReporter` streaming one
+  schema-validated JSONL event per epoch/eval/checkpoint/non-finite
+  skip, and readers (:func:`read_events`, :func:`summarize_run`) used
+  by ``repro.cli report`` and the CI telemetry gate
+  (``scripts/check_run_health.py``).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    EVENT_SCHEMAS,
+    RUN_END_STATUSES,
+    SCHEMA_VERSION,
+    ReportError,
+    RunReporter,
+    read_events,
+    summarize_run,
+)
+from repro.obs.tracing import (
+    PhaseTimer,
+    Span,
+    SpanCollector,
+    active,
+    active_timer,
+    collect,
+    collect_spans,
+    phase,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "EVENT_SCHEMAS",
+    "RUN_END_STATUSES",
+    "SCHEMA_VERSION",
+    "ReportError",
+    "RunReporter",
+    "read_events",
+    "summarize_run",
+    "PhaseTimer",
+    "Span",
+    "SpanCollector",
+    "active",
+    "active_timer",
+    "collect",
+    "collect_spans",
+    "phase",
+    "span",
+]

@@ -1,0 +1,244 @@
+"""Hierarchical span tracing with a zero-cost uninstrumented path.
+
+This subsumes the old flat ``repro.timing`` phase timers.  Code is
+annotated with :func:`span` blocks; what happens inside depends on what
+is installed on the current thread:
+
+* nothing installed — the block costs two thread-local attribute
+  lookups and records nothing (the hot-path default);
+* a :class:`PhaseTimer` (via :func:`collect`) — flat per-name
+  seconds/call aggregation, the pre-existing benchmark contract;
+* a :class:`SpanCollector` (via :func:`collect_spans`) — every span is
+  recorded with its parent/child structure, depth and metadata
+  (edge counts, snapshot sizes, …), so a training epoch yields a tree
+  ("evolve" → "ram" → "ram.gcn") rather than a bag of totals.
+
+Both can be installed at once; a span feeds both.  Installation is per
+thread (``threading.local``), so concurrent runs do not contaminate
+each other.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Dict, Iterator, List, Optional
+
+_state = threading.local()
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds and call counts per phase name."""
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record one timed block of ``elapsed`` seconds under ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self.seconds.values())
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{"seconds": ..., "calls": ...}`` mapping."""
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in sorted(self.seconds)
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={self.seconds[name] * 1000:.1f}ms" for name in sorted(self.seconds)
+        )
+        return f"PhaseTimer({parts})"
+
+
+class Span:
+    """One completed (or open) traced block."""
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "start", "end", "meta")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int], depth: int,
+                 start: float, meta: Optional[dict]):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = start
+        self.end: Optional[float] = None
+        self.meta = meta
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "seconds": self.seconds,
+        }
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        return d
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.seconds * 1000:.2f}ms, depth={self.depth})"
+
+
+class SpanCollector:
+    """Records a bounded tree of spans for the installing thread.
+
+    ``max_spans`` bounds memory on long runs: past it, new spans are
+    counted on :attr:`dropped` instead of stored (timing still flows to
+    any installed :class:`PhaseTimer`).
+    """
+
+    def __init__(self, max_spans: int = 100_000):
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self.max_spans = max_spans
+        self._stack: List[Optional[Span]] = []
+        self._next_id = 0
+
+    # -- recording (called by ``span``) --------------------------------
+    def begin(self, name: str, meta: Optional[dict], start: float) -> Optional[Span]:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            self._stack.append(None)
+            return None
+        parent = next((s for s in reversed(self._stack) if s is not None), None)
+        span = Span(
+            name,
+            self._next_id,
+            None if parent is None else parent.span_id,
+            len(self._stack),
+            start,
+            meta or None,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span], end: float) -> None:
+        self._stack.pop()
+        if span is not None:
+            span.end = end
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def open_count(self) -> int:
+        """Spans begun but not yet ended (0 in a balanced tree)."""
+        return len(self._stack)
+
+    def is_balanced(self) -> bool:
+        """True when every recorded span has been closed."""
+        return not self._stack and all(s.end is not None for s in self.spans)
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def summary(self, max_depth: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+        """Flat per-name ``{"seconds", "calls"}`` (PhaseTimer-compatible).
+
+        ``max_depth=0`` keeps only root spans — the right view when the
+        totals must not double-count nested child spans (e.g. computing
+        phase *shares* of an epoch).
+        """
+        timer = PhaseTimer()
+        for s in self.spans:
+            if s.end is not None and (max_depth is None or s.depth <= max_depth):
+                timer.add(s.name, s.seconds)
+        return timer.summary()
+
+    def tree(self) -> List[dict]:
+        """Nested dicts (children inlined), for reports and debugging."""
+        by_parent: Dict[Optional[int], List[Span]] = {}
+        for s in self.spans:
+            by_parent.setdefault(s.parent_id, []).append(s)
+
+        def build(span: Span) -> dict:
+            node = span.to_dict()
+            kids = by_parent.get(span.span_id, [])
+            if kids:
+                node["children"] = [build(k) for k in kids]
+            return node
+
+        return [build(s) for s in by_parent.get(None, [])]
+
+
+def active() -> Optional[SpanCollector]:
+    """The span collector installed on this thread, if any."""
+    return getattr(_state, "collector", None)
+
+
+def active_timer() -> Optional[PhaseTimer]:
+    """The flat phase timer installed on this thread, if any."""
+    return getattr(_state, "timer", None)
+
+
+@contextlib.contextmanager
+def collect(timer: PhaseTimer) -> Iterator[PhaseTimer]:
+    """Install a flat ``PhaseTimer`` for the block (per thread)."""
+    previous = active_timer()
+    _state.timer = timer
+    try:
+        yield timer
+    finally:
+        _state.timer = previous
+
+
+@contextlib.contextmanager
+def collect_spans(collector: Optional[SpanCollector] = None) -> Iterator[SpanCollector]:
+    """Install a ``SpanCollector`` for the block (per thread)."""
+    if collector is None:
+        collector = SpanCollector()
+    previous = active()
+    _state.collector = collector
+    try:
+        yield collector
+    finally:
+        _state.collector = previous
+
+
+@contextlib.contextmanager
+def span(name: str, **meta) -> Iterator[Optional[Span]]:
+    """Trace the enclosed block under ``name`` when instrumentation is on.
+
+    ``meta`` keyword arguments become span metadata (keep them cheap:
+    precomputed ints like edge counts, not derived structures).  With
+    neither a collector nor a timer installed the block is a no-op and
+    yields ``None``.
+    """
+    collector = getattr(_state, "collector", None)
+    timer = getattr(_state, "timer", None)
+    if collector is None and timer is None:
+        yield None
+        return
+    start = time.perf_counter()
+    current = collector.begin(name, meta, start) if collector is not None else None
+    try:
+        yield current
+    finally:
+        end = time.perf_counter()
+        if collector is not None:
+            collector.end(current, end)
+        if timer is not None:
+            timer.add(name, end - start)
+
+
+#: Back-compat alias: the old ``timing.phase`` blocks are plain spans.
+phase = span

@@ -44,7 +44,13 @@ class SentinelConfig:
 
 
 class NonFiniteGuard:
-    """Guarded optimizer stepping with rollback and LR backoff."""
+    """Guarded optimizer stepping with rollback and LR backoff.
+
+    ``on_skip``, when set, is called with the failure stage (``"loss"``,
+    ``"grad"`` or ``"step"``) every time a batch is skipped — the
+    observability layer uses it to emit one ``nonfinite_skip`` run-report
+    event per skip, so every skip counted on an epoch is explained.
+    """
 
     def __init__(self, optimizer, config: SentinelConfig = SentinelConfig()):
         self.optimizer = optimizer
@@ -52,6 +58,8 @@ class NonFiniteGuard:
         self.total_skips = 0
         self.consecutive = 0
         self.backoffs = 0
+        self.last_stage: Optional[str] = None
+        self.on_skip = None
 
     # ------------------------------------------------------------------
     # The guarded step
@@ -64,7 +72,7 @@ class NonFiniteGuard:
         """
         opt = self.optimizer
         if not np.isfinite(loss.item()):
-            self._register_failure()
+            self._register_failure("loss")
             return False
         opt.zero_grad()
         loss.backward()
@@ -72,7 +80,7 @@ class NonFiniteGuard:
             clip_grad_norm(opt.parameters, grad_clip)
         for p in opt.parameters:
             if p.grad is not None and not np.all(np.isfinite(p.grad)):
-                self._register_failure()
+                self._register_failure("grad")
                 return False
         before = [p.data.copy() for p in opt.parameters]
         before_opt = opt.state_dict()
@@ -82,12 +90,13 @@ class NonFiniteGuard:
                 for param, saved in zip(opt.parameters, before):
                     param.data = saved
                 opt.load_state_dict(before_opt)
-                self._register_failure()
+                self._register_failure("step")
                 return False
         self.consecutive = 0
         return True
 
-    def _register_failure(self) -> None:
+    def _register_failure(self, stage: str) -> None:
+        self.last_stage = stage
         self.total_skips += 1
         self.consecutive += 1
         if self.consecutive >= self.config.backoff_patience:
@@ -98,6 +107,8 @@ class NonFiniteGuard:
                 self.optimizer.lr = backed_off
                 self.backoffs += 1
             self.consecutive = 0
+        if self.on_skip is not None:
+            self.on_skip(stage)
 
     # ------------------------------------------------------------------
     # Resume support

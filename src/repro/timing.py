@@ -1,85 +1,26 @@
-"""Lightweight per-phase wall-clock instrumentation.
+"""Back-compat shim over :mod:`repro.obs.tracing`.
 
-The encoder hot path is annotated with :func:`phase` blocks (hypergraph
-build, RAM, EAM, decoder).  When no timer is installed the blocks cost a
-dictionary lookup and nothing is recorded; the benchmarks install a
-:class:`PhaseTimer` around the region they measure:
+The flat per-phase timers that used to live here are now the lowest
+tier of the observability layer: :func:`repro.obs.tracing.span` blocks
+feed an installed :class:`PhaseTimer` exactly as ``timing.phase`` did,
+and additionally record hierarchical span trees under
+:func:`repro.obs.tracing.collect_spans`.  Existing callers keep
+working:
 
     timer = PhaseTimer()
     with collect(timer):
         model.loss_on_snapshot(snapshot)
     timer.summary()  # {"eam": {"seconds": ..., "calls": ...}, ...}
 
-Timers are installed per thread, so concurrent benchmark runs do not
-contaminate each other.
+New code should import from :mod:`repro.obs` directly.
 """
 
-from __future__ import annotations
+from repro.obs.tracing import (  # noqa: F401
+    PhaseTimer,
+    collect,
+    phase,
+    span,
+)
+from repro.obs.tracing import active_timer as active  # noqa: F401
 
-import contextlib
-import threading
-import time
-from typing import Dict, Iterator, Optional
-
-_state = threading.local()
-
-
-class PhaseTimer:
-    """Accumulates wall-clock seconds and call counts per phase name."""
-
-    def __init__(self):
-        self.seconds: Dict[str, float] = {}
-        self.calls: Dict[str, int] = {}
-
-    def add(self, name: str, elapsed: float) -> None:
-        """Record one timed block of ``elapsed`` seconds under ``name``."""
-        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-        self.calls[name] = self.calls.get(name, 0) + 1
-
-    @property
-    def total(self) -> float:
-        """Total seconds across all phases."""
-        return sum(self.seconds.values())
-
-    def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-phase ``{"seconds": ..., "calls": ...}`` mapping."""
-        return {
-            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
-            for name in sorted(self.seconds)
-        }
-
-    def __repr__(self) -> str:
-        parts = ", ".join(
-            f"{name}={self.seconds[name] * 1000:.1f}ms" for name in sorted(self.seconds)
-        )
-        return f"PhaseTimer({parts})"
-
-
-def active() -> Optional[PhaseTimer]:
-    """The timer installed on this thread, if any."""
-    return getattr(_state, "timer", None)
-
-
-@contextlib.contextmanager
-def collect(timer: PhaseTimer) -> Iterator[PhaseTimer]:
-    """Install ``timer`` for the duration of the block (per thread)."""
-    previous = active()
-    _state.timer = timer
-    try:
-        yield timer
-    finally:
-        _state.timer = previous
-
-
-@contextlib.contextmanager
-def phase(name: str) -> Iterator[None]:
-    """Time the enclosed block under ``name`` when a timer is installed."""
-    timer = active()
-    if timer is None:
-        yield
-        return
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        timer.add(name, time.perf_counter() - start)
+__all__ = ["PhaseTimer", "active", "collect", "phase", "span"]

@@ -1,7 +1,6 @@
 """Edge-case and stress tests for the autograd substrate."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

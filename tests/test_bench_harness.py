@@ -1,7 +1,5 @@
 """Lightweight tests for the benchmark harness (no model training)."""
 
-import numpy as np
-
 from repro.bench import BENCH_PROFILES, DEFAULT_METHODS, format_table
 from repro.bench.runner import METHOD_BUILDERS, ONLINE_METHODS
 from repro.datasets import DATASET_PROFILES

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import RETIA, RETIAConfig
-from repro.graph import Snapshot, TemporalKG
+from repro.graph import TemporalKG
 
 
 def tiny_graph():

@@ -1,7 +1,6 @@
 """Extra coverage for the Conv-TransE decoder used by Eq. 11-12."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor
 from repro.core import ConvTransE

@@ -12,7 +12,7 @@ from repro.eval import (
     evaluate_extrapolation,
     ranks_from_scores,
 )
-from repro.graph import Snapshot, TemporalKG
+from repro.graph import TemporalKG
 
 
 class TestRanksFromScores:

@@ -1,6 +1,5 @@
 """Tests for the networkx export utilities."""
 
-import networkx as nx
 import numpy as np
 
 from repro.graph import (

@@ -1,7 +1,5 @@
 """Tests for the static-graph-constraint module (paper Section IV-A4)."""
 
-import math
-
 import numpy as np
 import pytest
 
@@ -9,7 +7,6 @@ from repro.autograd import Tensor
 from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
 from repro.core.static_constraint import StaticGraphConstraint, community_static_graph
 from repro.datasets import SyntheticTKGConfig, generate_tkg
-from repro.utils import l2_normalize_rows
 
 
 def small_config():

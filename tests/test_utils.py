@@ -1,7 +1,6 @@
 """Tests for small shared helpers."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor
 from repro.bench import print_header
