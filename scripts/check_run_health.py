@@ -17,7 +17,15 @@ checks that the run is *reconstructible and healthy*:
   share budget of epoch time — a silently exploding encoder fails CI
   before it shows up as a drifting benchmark table;
 * every non-finite skip counted on an epoch is explained by exactly one
-  ``nonfinite_skip`` event with a stage.
+  ``nonfinite_skip`` event with a stage;
+* probe events respect their declared cadence (``global_batch`` is a
+  multiple of ``cadence``), report only finite measurements, and any
+  probe carrying a non-finite gradient norm is paired with a
+  ``nonfinite_skip`` event at the same global batch — an unexplained
+  NaN gradient in telemetry fails CI;
+* diagnostic events decompose losslessly: per-relation and
+  per-timestamp query counts sum to the aggregate count and the
+  frequency-weighted per-relation MRR reproduces the aggregate MRR.
 
 Exit code 0 when every check passes, 1 otherwise (one line per
 violation).  Run this against a corrupted/truncated log and it fails —
@@ -31,6 +39,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.obs import RUN_END_STATUSES, ReportError, read_events
@@ -38,6 +47,94 @@ from repro.obs import RUN_END_STATUSES, ReportError, read_events
 ENCODER_PHASES = ("hypergraph", "ram", "eam")
 #: Tolerance on "phases fit inside the epoch" (timer overhead jitter).
 PHASE_SUM_SLACK = 1.05
+#: Tolerance on the diagnostic MRR recomposition (float accumulation).
+RECOMPOSITION_TOL = 1e-6
+
+
+def _finite_leaves(value, path=""):
+    """Yield ``(path, number)`` for every numeric leaf of a nested dict."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _finite_leaves(sub, f"{path}.{key}" if path else str(key))
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        yield path, float(value)
+
+
+def check_probes(events: list) -> list:
+    """Probe-event invariants (cadence, finiteness, skip pairing)."""
+    problems = []
+    probes = [e for e in events if e["event"] == "probe"]
+    skip_batches = {
+        e.get("global_batch")
+        for e in events
+        if e["event"] == "nonfinite_skip" and "global_batch" in e
+    }
+    cadences = set()
+    for p in probes:
+        where = f"probe at seq {p['seq']}"
+        cadence = p["cadence"]
+        cadences.add(cadence)
+        if not isinstance(cadence, int) or cadence < 1:
+            problems.append(f"{where}: invalid cadence {cadence!r}")
+        elif p["global_batch"] % cadence:
+            problems.append(
+                f"{where}: global_batch {p['global_batch']} is off the "
+                f"declared cadence of {cadence}"
+            )
+        nonfinite_grad = not math.isfinite(p["grad_norm"]) or any(
+            not math.isfinite(stats.get("grad_norm", 0.0))
+            for stats in p.get("modules", {}).values()
+        )
+        if nonfinite_grad and p["global_batch"] not in skip_batches:
+            problems.append(
+                f"{where}: non-finite gradient norm without a matching "
+                f"nonfinite_skip at global_batch {p['global_batch']}"
+            )
+        # Everything that is not a gradient norm must always be finite:
+        # weights, embedding norms and gate fractions survive a skipped
+        # step untouched, so a NaN there is corruption, not a skip.
+        for section in ("embeddings", "gates"):
+            for path, number in _finite_leaves(p.get(section, {}), section):
+                if not math.isfinite(number):
+                    problems.append(f"{where}: non-finite value at {path}")
+        for module, stats in p.get("modules", {}).items():
+            for key in ("weight_norm",):
+                if key in stats and not math.isfinite(stats[key]):
+                    problems.append(f"{where}: non-finite {key} for module {module!r}")
+    if len(cadences) > 1:
+        problems.append(f"probe cadence changed mid-run: {sorted(cadences)}")
+    return problems
+
+
+def check_diagnostics(events: list) -> list:
+    """Diagnostic-event invariants (finiteness, lossless decomposition)."""
+    problems = []
+    for d in (e for e in events if e["event"] == "diagnostic"):
+        where = f"diagnostic at seq {d['seq']}"
+        for path, number in _finite_leaves(d.get("aggregate", {}), "aggregate"):
+            if not math.isfinite(number):
+                problems.append(f"{where}: non-finite value at {path}")
+        total = d.get("aggregate", {}).get("count", 0)
+        for axis in ("relations", "timestamps"):
+            groups = d.get(axis) or {}
+            if not groups:
+                continue
+            group_total = sum(g.get("count", 0) for g in groups.values())
+            if group_total != total:
+                problems.append(
+                    f"{where}: {axis} counts sum to {group_total}, "
+                    f"aggregate has {total} queries (lossy decomposition)"
+                )
+        relations = d.get("relations") or {}
+        if relations and total:
+            weighted = sum(g["count"] * g["MRR"] for g in relations.values()) / total
+            aggregate_mrr = d.get("aggregate", {}).get("MRR", 0.0)
+            if abs(weighted - aggregate_mrr) > RECOMPOSITION_TOL:
+                problems.append(
+                    f"{where}: weighted per-relation MRR {weighted:.9f} does not "
+                    f"recompose the aggregate {aggregate_mrr:.9f}"
+                )
+    return problems
 
 
 def _phase_seconds(epoch_event: dict) -> dict:
@@ -159,6 +256,9 @@ def check_events(events: list, max_encoder_share: float, allowed_statuses) -> li
             f"run_end claims {end['epochs_completed']} epoch(s) but "
             f"{len(epochs)} epoch event(s) were logged"
         )
+
+    problems.extend(check_probes(events))
+    problems.extend(check_diagnostics(events))
     return problems
 
 
@@ -191,14 +291,15 @@ def main() -> int:
 
     problems = check_events(events, args.max_encoder_share, allowed)
     epochs = sum(1 for e in events if e["event"] == "epoch")
+    probes = sum(1 for e in events if e["event"] == "probe")
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}")
         return 1
     print(
         f"OK: {args.report} is healthy "
-        f"({len(events)} events, {epochs} epoch(s), seq monotone, spans balanced, "
-        f"all non-finite skips explained)"
+        f"({len(events)} events, {epochs} epoch(s), {probes} probe(s), "
+        f"seq monotone, spans balanced, all non-finite skips explained)"
     )
     return 0
 

@@ -7,6 +7,18 @@ and Table VIII timings — train each model once per pytest session).
 :mod:`repro.bench.tables` renders paper-style result tables.
 """
 
+from repro.bench.history import (
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    HistoryError,
+    RegressionVerdict,
+    append_entry,
+    detect_regression,
+    make_entry,
+    read_history,
+    summarize_history,
+    write_summary,
+)
 from repro.bench.runner import (
     BENCH_PROFILES,
     DEFAULT_METHODS,
@@ -22,10 +34,20 @@ __all__ = [
     "BenchProfile",
     "BENCH_PROFILES",
     "DEFAULT_METHODS",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "HistoryError",
+    "RegressionVerdict",
     "TrainedMethod",
+    "append_entry",
     "benchmark_encoder",
+    "detect_regression",
     "get_trained",
+    "make_entry",
+    "read_history",
     "retia_variant",
+    "summarize_history",
+    "write_summary",
     "format_table",
     "print_header",
 ]

@@ -1,0 +1,212 @@
+"""Benchmark history: append-only JSONL trajectory + regression gating.
+
+The encoder budget gate (PR 1) compares one measurement against one
+static baseline — it catches a 2x cliff but is blind to gradual drift,
+and it records nothing.  This module gives every
+:func:`~repro.bench.runner.benchmark_encoder` (and any ``bench.runner``
+measurement) a durable trajectory:
+
+* :func:`append_entry` appends one JSON object per measurement to
+  ``BENCH_history.jsonl`` (append + flush, so concurrent CI jobs at
+  worst interleave whole lines);
+* :func:`summarize_history` / :func:`write_summary` maintain a rolling
+  ``BENCH_encoder.json`` (min / median / mean / last over a window, per
+  dataset) — the human-readable state of the trajectory;
+* :func:`detect_regression` is the noise-aware gate: the candidate (a
+  min-of-k over fresh repeats) is compared against the *minimum* of the
+  last ``window`` recorded measurements.  Min-of-k on both sides makes
+  the comparison a noise-floor-vs-noise-floor test, so scheduler jitter
+  does not fail CI while a real slowdown (the fault-injected-sleep CI
+  drill injects one) cannot hide in it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Dict, List, Optional
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Allowed slowdown of the candidate over the rolling noise floor.
+DEFAULT_TOLERANCE = 1.2
+#: Rolling window of history entries the gate and summary consider.
+DEFAULT_WINDOW = 10
+
+#: The measurement gated on (also summarised: the full-step figure).
+KEY_ENCODER = "encoder_seconds_per_step"
+KEY_FULL = "seconds_per_step"
+
+
+class HistoryError(ValueError):
+    """A malformed history file or entry."""
+
+
+def make_entry(result: Dict, name: str = "encoder", extra: Optional[Dict] = None) -> dict:
+    """One history record from a :func:`benchmark_encoder`-style result."""
+    for key in ("dataset", KEY_ENCODER, KEY_FULL):
+        if key not in result:
+            raise HistoryError(f"benchmark result lacks required key {key!r}")
+    entry = {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "name": name,
+        "recorded_at": time.time(),
+        "dataset": result["dataset"],
+        KEY_ENCODER: float(result[KEY_ENCODER]),
+        KEY_FULL: float(result[KEY_FULL]),
+        "steps": int(result.get("steps", 0)),
+    }
+    if extra:
+        entry.update(extra)
+    return entry
+
+
+def append_entry(path: str, entry: dict) -> dict:
+    """Append one entry as a JSONL line; returns the entry."""
+    line = json.dumps(entry, sort_keys=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return entry
+
+
+def read_history(path: str) -> List[dict]:
+    """Parse a history file (missing file = empty history)."""
+    if not os.path.exists(path):
+        return []
+    entries: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+            if not isinstance(record, dict):
+                raise HistoryError(f"{path}:{lineno}: entry must be an object")
+            entries.append(record)
+    return entries
+
+
+def _relevant(
+    entries: List[dict], name: str, dataset: Optional[str], key: str
+) -> List[dict]:
+    return [
+        e
+        for e in entries
+        if e.get("name") == name
+        and key in e
+        and (dataset is None or e.get("dataset") == dataset)
+    ]
+
+
+@dataclass(frozen=True)
+class RegressionVerdict:
+    """Outcome of one gate evaluation."""
+
+    regressed: bool
+    reason: str
+    candidate: float
+    baseline: Optional[float]
+    ratio: Optional[float]
+    window_used: int
+
+    def __str__(self) -> str:
+        return ("REGRESSION: " if self.regressed else "ok: ") + self.reason
+
+
+def detect_regression(
+    entries: List[dict],
+    candidate: float,
+    name: str = "encoder",
+    dataset: Optional[str] = None,
+    key: str = KEY_ENCODER,
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_history: int = 1,
+) -> RegressionVerdict:
+    """Noise-aware min-of-k gate: candidate vs the rolling noise floor.
+
+    ``candidate`` should itself be the min over the fresh run's repeats.
+    With fewer than ``min_history`` relevant entries the gate passes
+    (there is nothing sound to compare against — the first CI run seeds
+    the history instead of failing it).
+    """
+    if tolerance <= 1.0:
+        raise HistoryError("tolerance must be > 1.0 (an allowed slowdown factor)")
+    tail = _relevant(entries, name, dataset, key)[-window:]
+    if len(tail) < min_history:
+        return RegressionVerdict(
+            regressed=False,
+            reason=f"only {len(tail)} history entr(y/ies), need {min_history}; gate passes",
+            candidate=candidate,
+            baseline=None,
+            ratio=None,
+            window_used=len(tail),
+        )
+    baseline = min(e[key] for e in tail)
+    ratio = candidate / baseline if baseline > 0 else float("inf")
+    reason = (
+        f"candidate {candidate * 1000:.2f} ms vs min-of-{len(tail)} baseline "
+        f"{baseline * 1000:.2f} ms (x{ratio:.2f}, tolerance x{tolerance:g})"
+    )
+    return RegressionVerdict(
+        regressed=ratio > tolerance,
+        reason=reason,
+        candidate=candidate,
+        baseline=baseline,
+        ratio=ratio,
+        window_used=len(tail),
+    )
+
+
+def summarize_history(
+    entries: List[dict], name: str = "encoder", window: int = DEFAULT_WINDOW
+) -> dict:
+    """Rolling per-dataset summary (the ``BENCH_encoder.json`` payload)."""
+    datasets: Dict[str, dict] = {}
+    for dataset in sorted({e.get("dataset") for e in _relevant(entries, name, None, KEY_ENCODER)}):
+        relevant = _relevant(entries, name, dataset, KEY_ENCODER)
+        tail = relevant[-window:]
+        encoder = [e[KEY_ENCODER] for e in tail]
+        full = [e[KEY_FULL] for e in tail if KEY_FULL in e]
+        datasets[dataset] = {
+            "entries": len(relevant),
+            "window_entries": len(tail),
+            KEY_ENCODER: {
+                "min": min(encoder),
+                "median": median(encoder),
+                "mean": mean(encoder),
+                "last": encoder[-1],
+            },
+            KEY_FULL: {
+                "min": min(full),
+                "median": median(full),
+                "mean": mean(full),
+                "last": full[-1],
+            }
+            if full
+            else {},
+        }
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "name": name,
+        "window": window,
+        "datasets": datasets,
+    }
+
+
+def write_summary(
+    path: str, entries: List[dict], name: str = "encoder", window: int = DEFAULT_WINDOW
+) -> dict:
+    """Write the rolling summary JSON; returns the summary dict."""
+    summary = summarize_history(entries, name=name, window=window)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return summary

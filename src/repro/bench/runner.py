@@ -278,6 +278,8 @@ def benchmark_encoder(
     seed: int = 0,
     registry: Optional[MetricsRegistry] = None,
     reporter=None,
+    per_step_sleep: float = 0.0,
+    history_path: Optional[str] = None,
 ) -> Dict:
     """Time RETIA training steps with a per-phase encoder breakdown.
 
@@ -298,6 +300,12 @@ def benchmark_encoder(
     the measurement as labeled gauges/counters (the JSON format the CI
     budget gate uploads); a :class:`~repro.obs.RunReporter` passed as
     ``reporter`` gets one ``bench`` event with the same payload.
+
+    ``per_step_sleep`` injects that many seconds of sleep into every
+    timed step — a deterministic fault used by the CI perf-history job
+    to prove the regression detector actually fires.  ``history_path``
+    appends the result to a ``BENCH_history.jsonl`` trajectory (see
+    :mod:`repro.bench.history`).
     """
     dataset = bench_dataset(dataset_name)
     profile = BENCH_PROFILES[dataset_name]
@@ -320,6 +328,8 @@ def benchmark_encoder(
     encoder_start = time.perf_counter()
     for snapshot in snapshots:
         model.evolve(model.history_before(snapshot.time))
+        if per_step_sleep > 0:
+            time.sleep(per_step_sleep)
     encoder_total = time.perf_counter() - encoder_start
 
     timer = timing.PhaseTimer()
@@ -328,6 +338,8 @@ def benchmark_encoder(
         for snapshot in snapshots:
             joint, _, _ = model.loss_on_snapshot(snapshot)
             joint.backward()
+            if per_step_sleep > 0:
+                time.sleep(per_step_sleep)
     total = time.perf_counter() - start
 
     steps = max(1, len(snapshots))
@@ -352,6 +364,11 @@ def benchmark_encoder(
         if registry is None:
             record_encoder_metrics(scratch, result)
         reporter.emit("bench", name="encoder", metrics=scratch.to_dict(), result=result)
+    if history_path is not None:
+        from repro.bench.history import append_entry, make_entry
+
+        extra = {"injected_sleep": per_step_sleep} if per_step_sleep else None
+        append_entry(history_path, make_entry(result, name="encoder", extra=extra))
     return result
 
 

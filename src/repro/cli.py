@@ -2,10 +2,12 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli datasets
+    python -m repro.cli datasets [--format json]
     python -m repro.cli train --dataset ICEWS14 --epochs 8 --out model.npz
     python -m repro.cli train --dataset ICEWS14 --checkpoint-dir runs/a --resume
     python -m repro.cli evaluate --dataset ICEWS14 --checkpoint model.npz
+    python -m repro.cli diagnose --dataset ICEWS14 --checkpoint model.npz
+    python -m repro.cli bench --dataset ICEWS14 --history BENCH_history.jsonl --gate
     python -m repro.cli hypergraph --dataset YAGO --time 3
     python -m repro.cli drill --dataset YAGO --fault kill --at-batch 5
 
@@ -18,9 +20,14 @@ run streams schema-validated JSONL telemetry (one event per epoch /
 eval / checkpoint / non-finite skip) that ``report`` reconstructs and
 ``scripts/check_run_health.py`` gates on in CI.  ``evaluate`` reloads a
 model and runs the paper's test protocol (optionally with online
-continuous training).  ``drill`` runs the fault-injection harness (NaN
-loss, mid-run kill, checkpoint corruption) against a short training run
-and reports whether the runtime recovered.
+continuous training).  ``diagnose`` decomposes that protocol into
+per-relation / per-timestamp / seen-unseen views with a bounded rank
+histogram.  ``bench`` times the encoder, appends the measurement to a
+``BENCH_history.jsonl`` trajectory and (``--gate``) fails on a
+noise-aware regression against the rolling noise floor.  ``drill`` runs
+the fault-injection harness (NaN loss, mid-run kill, checkpoint
+corruption) against a short training run and reports whether the
+runtime recovered.
 """
 
 from __future__ import annotations
@@ -34,10 +41,15 @@ import numpy as np
 
 from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
 from repro.datasets import DATASET_PROFILES, dataset_statistics, load_dataset
-from repro.eval import evaluate_extrapolation
+from repro.eval import (
+    diagnose_extrapolation,
+    evaluate_extrapolation,
+    format_diagnostics,
+    known_entities_of,
+)
 from repro.graph import build_hyperrelation_graph
 from repro.io import load_checkpoint, save_checkpoint
-from repro.obs import ReportError, RunReporter, read_events, summarize_run
+from repro.obs import ProbeConfig, ReportError, RunReporter, read_events, summarize_run
 from repro.resilience import (
     EXIT_RESUMABLE,
     CheckpointManager,
@@ -58,10 +70,15 @@ def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_datasets(_: argparse.Namespace) -> int:
+def cmd_datasets(args: argparse.Namespace) -> int:
     """Print Table V-style statistics for every registered dataset."""
-    for name in DATASET_PROFILES:
-        stats = dataset_statistics(load_dataset(name))
+    statistics = {
+        name: dataset_statistics(load_dataset(name)) for name in DATASET_PROFILES
+    }
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(statistics, indent=2, sort_keys=True))
+        return 0
+    for stats in statistics.values():
         row = "  ".join(f"{key}={value}" for key, value in stats.items())
         print(row)
     return 0
@@ -87,11 +104,13 @@ def cmd_train(args: argparse.Namespace) -> int:
         checkpoint_every_batches=args.checkpoint_every,
     )
     reporter = RunReporter(args.run_report) if args.run_report else None
+    probes = ProbeConfig(every_batches=args.probe_every) if args.probe_every else None
     trainer = Trainer(
         model,
         TrainerConfig(epochs=args.epochs, patience=args.patience, seed=args.seed),
         resilience=resilience,
         reporter=reporter,
+        probes=probes,
     )
     try:
         log = trainer.fit(dataset.train, dataset.valid, resume=args.resume or None)
@@ -118,18 +137,26 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_evaluate(args: argparse.Namespace) -> int:
+def _load_eval_model(args: argparse.Namespace):
+    """Rebuild a checkpointed model with train+valid history revealed."""
     dataset = load_dataset(args.dataset)
     state, config_dict = load_checkpoint(args.checkpoint)
     if config_dict is None:
         print("checkpoint has no config blob; cannot rebuild the model", file=sys.stderr)
-        return 1
+        return dataset, None
     model = RETIA(RETIAConfig(**config_dict))
     model.load_state_dict(state)
     model.set_history(dataset.train)
     for t in dataset.valid.timestamps:
         model.observe(dataset.valid.snapshot(int(t)))
     model.eval()
+    return dataset, model
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset, model = _load_eval_model(args)
+    if model is None:
+        return 1
     reporter = RunReporter(args.run_report) if args.run_report else None
     try:
         if args.online:
@@ -137,12 +164,104 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             target = trainer.online_adapter(reporter=reporter)
         else:
             target = model
-        result = evaluate_extrapolation(target, dataset.test)
+        if args.diagnostics:
+            # The diagnostic decomposition runs the identical protocol
+            # (same queries, pooled directions, observe-as-you-go), so
+            # it replaces — not repeats — the aggregate pass.
+            report = diagnose_extrapolation(
+                target,
+                dataset.test,
+                known_entities=known_entities_of(dataset.train, dataset.valid),
+                reporter=reporter,
+            )
+            entity, relation = report.aggregate, report.relation_aggregate
+        else:
+            result = evaluate_extrapolation(target, dataset.test)
+            entity, relation = result.entity, result.relation
     finally:
         if reporter is not None:
             reporter.close()
-    print("entity  :", {k: round(v, 2) for k, v in result.entity.items()})
-    print("relation:", {k: round(v, 2) for k, v in result.relation.items()})
+    print("entity  :", {k: round(v, 2) for k, v in entity.items()})
+    print("relation:", {k: round(v, 2) for k, v in relation.items()})
+    if args.diagnostics:
+        print(format_diagnostics(report))
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """Per-relation / per-timestamp / seen-unseen evaluation diagnostics."""
+    dataset, model = _load_eval_model(args)
+    if model is None:
+        return 1
+    reporter = RunReporter(args.run_report) if args.run_report else None
+    try:
+        report = diagnose_extrapolation(
+            model,
+            dataset.test,
+            known_entities=known_entities_of(dataset.train, dataset.valid),
+            reporter=reporter,
+        )
+    finally:
+        if reporter is not None:
+            reporter.close()
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diagnostics(report, top=args.top))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the encoder, append to history, gate on regression."""
+    from repro.bench import (
+        benchmark_encoder,
+        detect_regression,
+        make_entry,
+        append_entry,
+        read_history,
+        write_summary,
+    )
+
+    baseline_entries = read_history(args.history) if args.history else []
+    results = []
+    for repeat in range(args.repeats):
+        results.append(
+            benchmark_encoder(
+                args.dataset,
+                seed=args.seed,
+                per_step_sleep=args.inject_sleep_ms / 1000.0,
+            )
+        )
+        print(
+            f"repeat {repeat + 1}/{args.repeats}: "
+            f"encoder {results[-1]['encoder_seconds_per_step'] * 1000:.2f} ms/step, "
+            f"full step {results[-1]['seconds_per_step'] * 1000:.2f} ms/step"
+        )
+    candidate = min(r["encoder_seconds_per_step"] for r in results)
+    verdict = detect_regression(
+        baseline_entries,
+        candidate,
+        dataset=args.dataset,
+        window=args.window,
+        tolerance=args.tolerance,
+    )
+    print(verdict)
+    if args.history and not args.dry_run:
+        extra = (
+            {"injected_sleep": args.inject_sleep_ms / 1000.0}
+            if args.inject_sleep_ms
+            else None
+        )
+        for result in results:
+            append_entry(args.history, make_entry(result, extra=extra))
+        entries = read_history(args.history)
+        if args.summary:
+            write_summary(args.summary, entries, window=args.window)
+            print(f"summary written to {args.summary}")
+        print(f"{len(results)} entr{'y' if len(results) == 1 else 'ies'} appended "
+              f"to {args.history} ({len(entries)} total)")
+    if args.gate and verdict.regressed:
+        return 1
     return 0
 
 
@@ -278,9 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("datasets", help="print dataset statistics").set_defaults(
-        handler=cmd_datasets
+    datasets = commands.add_parser("datasets", help="print dataset statistics")
+    datasets.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
     )
+    datasets.set_defaults(handler=cmd_datasets)
 
     train = commands.add_parser("train", help="train RETIA and save a checkpoint")
     _add_dataset_argument(train)
@@ -311,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="also checkpoint every N batches (0: epoch boundaries only)",
     )
+    train.add_argument(
+        "--probe-every",
+        type=int,
+        default=0,
+        help="emit gradient/embedding/gate probes every N batches (0: off)",
+    )
     train.set_defaults(handler=cmd_train)
 
     evaluate = commands.add_parser("evaluate", help="evaluate a checkpoint")
@@ -322,7 +449,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-report",
         help="stream JSONL observe telemetry (with --online) here",
     )
+    evaluate.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help="also print the per-relation / per-timestamp decomposition",
+    )
     evaluate.set_defaults(handler=cmd_evaluate)
+
+    diagnose = commands.add_parser(
+        "diagnose", help="decompose evaluation per relation / timestamp / novelty"
+    )
+    _add_dataset_argument(diagnose)
+    diagnose.add_argument("--checkpoint", required=True)
+    diagnose.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    diagnose.add_argument(
+        "--top", type=int, default=5, help="worst-N relations to list (text format)"
+    )
+    diagnose.add_argument(
+        "--run-report",
+        help="also stream the decomposition as a JSONL diagnostic event here",
+    )
+    diagnose.set_defaults(handler=cmd_diagnose)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark the encoder and gate against recorded history"
+    )
+    _add_dataset_argument(bench)
+    bench.add_argument("--repeats", type=int, default=3, help="timed repeats (min-of-k)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--history", help="BENCH_history.jsonl trajectory to read/append")
+    bench.add_argument("--summary", help="also write a rolling BENCH_encoder.json here")
+    bench.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when the candidate regresses past the rolling noise floor",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=1.2, help="allowed slowdown factor"
+    )
+    bench.add_argument(
+        "--window", type=int, default=10, help="history entries the gate considers"
+    )
+    bench.add_argument(
+        "--inject-sleep-ms",
+        type=float,
+        default=0.0,
+        help="inject a per-step sleep (CI drill proving the gate fires)",
+    )
+    bench.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and gate but do not append to the history",
+    )
+    bench.set_defaults(handler=cmd_bench)
 
     report = commands.add_parser(
         "report", help="summarise a JSONL run report written by train --run-report"

@@ -31,7 +31,7 @@ from repro.core.model import RETIA
 from repro.eval import evaluate_extrapolation
 from repro.graph import Snapshot, TemporalKG
 from repro.nn import Adam
-from repro.obs import SCHEMA_VERSION, RunReporter, tracing
+from repro.obs import SCHEMA_VERSION, ProbeConfig, ProbeSuite, RunReporter, tracing
 from repro.resilience import (
     STATUS_COMPLETED,
     STATUS_INTERRUPTED,
@@ -88,6 +88,7 @@ class Trainer:
         resilience: Optional[ResilienceConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
         reporter: Optional[RunReporter] = None,
+        probes: Union[None, ProbeConfig, ProbeSuite] = None,
     ):
         self.model = model
         self.config = config
@@ -97,6 +98,12 @@ class Trainer:
         self.optimizer = Adam(
             model.parameters(), lr=config.lr, weight_decay=config.weight_decay
         )
+        # Introspection probes (repro.obs.probes): a ProbeConfig builds a
+        # suite against this trainer's optimizer; a ready-made ProbeSuite
+        # is used as-is (tests inject one with their own registry).
+        if isinstance(probes, ProbeConfig):
+            probes = ProbeSuite(model, self.optimizer, probes, reporter=reporter)
+        self.probes: Optional[ProbeSuite] = probes
         self.guard = NonFiniteGuard(self.optimizer, self.resilience.sentinel_config())
         if reporter is not None:
             self.guard.on_skip = self._report_skip
@@ -326,10 +333,23 @@ class Trainer:
                             continue
                         if self.fault_injector is not None:
                             self.fault_injector.on_batch_start(self._global_batch)
+                        # Probe arming must precede the forward pass so
+                        # the TIM gate statistics cover this batch; the
+                        # no-probe path costs one ``is None`` check.
+                        probing = self.probes is not None and self.probes.arm(
+                            self._global_batch
+                        )
                         joint, loss_e, loss_r = model.loss_on_snapshot(snapshot)
                         if self.fault_injector is not None:
                             self.fault_injector.poison_loss(joint, self._global_batch)
-                        if self.guard.guarded_step(joint, cfg.grad_clip):
+                        if probing:
+                            self.probes.before_step()
+                        stepped = self.guard.guarded_step(joint, cfg.grad_clip)
+                        if probing:
+                            self.probes.after_step(
+                                epoch, self._global_batch, stepped
+                            )
+                        if stepped:
                             model.mark_updated()
                             sums["joint"] += joint.item()
                             sums["entity"] += loss_e.item()

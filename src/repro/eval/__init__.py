@@ -6,18 +6,39 @@ averages the subject- and object-query directions (following RE-GCN);
 relation forecasting reports MRR.  The paper reports the **raw** setting;
 static-filtered and time-aware-filtered settings are implemented as well
 for completeness.
+
+:mod:`repro.eval.diagnostics` decomposes the same protocol along
+per-relation / per-timestamp / seen-unseen axes with bounded memory —
+the ``repro.cli diagnose`` view.
 """
 
-from repro.eval.metrics import RankAccumulator, ranks_from_scores
+from repro.eval.metrics import (
+    RANK_HISTOGRAM_EDGES,
+    RankAccumulator,
+    log_spaced_rank_edges,
+    ranks_from_scores,
+)
 from repro.eval.filters import FilterIndex
 from repro.eval.interface import ExtrapolationModel
 from repro.eval.protocol import EvaluationResult, evaluate_extrapolation
+from repro.eval.diagnostics import (
+    DiagnosticsReport,
+    diagnose_extrapolation,
+    format_diagnostics,
+    known_entities_of,
+)
 
 __all__ = [
+    "RANK_HISTOGRAM_EDGES",
     "RankAccumulator",
+    "log_spaced_rank_edges",
     "ranks_from_scores",
     "FilterIndex",
     "ExtrapolationModel",
     "EvaluationResult",
     "evaluate_extrapolation",
+    "DiagnosticsReport",
+    "diagnose_extrapolation",
+    "format_diagnostics",
+    "known_entities_of",
 ]

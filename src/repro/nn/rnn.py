@@ -65,6 +65,10 @@ class LSTMCell(Module):
     timestamp (documented substitution, DESIGN.md §5).
     """
 
+    #: Sigmoid outputs within this distance of 0/1 count as saturated
+    #: (the probe layer's gate-collapse signal).
+    GATE_SATURATION_TAU = 0.05
+
     def __init__(self, input_size: int, hidden_size: int, rng=None):
         super().__init__()
         self.input_size = input_size
@@ -77,6 +81,12 @@ class LSTMCell(Module):
         init.xavier_uniform_(self.weight_hh, rng=rng)
         # Forget-gate bias of 1 helps early training retain history.
         self.bias_ih.data[hidden_size : 2 * hidden_size] = 1.0
+        # Gate-saturation probing (repro.obs.probes): off by default so
+        # the uninstrumented forward pays one attribute check, nothing
+        # more.  When armed, each forward accumulates the fraction of
+        # saturated entries per sigmoid gate into ``_gate_stats``.
+        object.__setattr__(self, "collect_gate_stats", False)
+        object.__setattr__(self, "_gate_stats", None)
 
     def init_state(self, batch: int) -> Tuple[Tensor, Tensor]:
         """Fresh zero (h, c) state for ``batch`` rows."""
@@ -98,6 +108,37 @@ class LSTMCell(Module):
         f = gates[:, hs : 2 * hs].sigmoid()
         g = gates[:, 2 * hs : 3 * hs].tanh()
         o = gates[:, 3 * hs :].sigmoid()
+        if self.collect_gate_stats:
+            self._record_gate_stats(i.data, f.data, o.data)
         c_next = f * c + i * g
         h_next = o * c_next.tanh()
         return h_next, c_next
+
+    # ------------------------------------------------------------------
+    # Gate-saturation probing
+    # ------------------------------------------------------------------
+    def _record_gate_stats(self, i: np.ndarray, f: np.ndarray, o: np.ndarray) -> None:
+        tau = self.GATE_SATURATION_TAU
+        stats = self._gate_stats
+        if stats is None:
+            stats = {"input": 0.0, "forget": 0.0, "output": 0.0, "calls": 0}
+        for name, gate in (("input", i), ("forget", f), ("output", o)):
+            stats[name] += float(np.mean((gate < tau) | (gate > 1.0 - tau)))
+        stats["calls"] += 1
+        object.__setattr__(self, "_gate_stats", stats)
+
+    def pop_gate_stats(self) -> Optional[dict]:
+        """Mean saturated fraction per gate since arming; resets the
+        accumulator and disables collection."""
+        stats = self._gate_stats
+        object.__setattr__(self, "_gate_stats", None)
+        object.__setattr__(self, "collect_gate_stats", False)
+        if not stats or not stats["calls"]:
+            return None
+        calls = stats["calls"]
+        return {
+            "input": stats["input"] / calls,
+            "forget": stats["forget"] / calls,
+            "output": stats["output"] / calls,
+            "calls": calls,
+        }

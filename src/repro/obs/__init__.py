@@ -27,6 +27,12 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.probes import (
+    GATE_BUCKETS,
+    PROBE_BUCKETS,
+    ProbeConfig,
+    ProbeSuite,
+)
 from repro.obs.report import (
     EVENT_SCHEMAS,
     RUN_END_STATUSES,
@@ -38,6 +44,7 @@ from repro.obs.report import (
 )
 from repro.obs.tracing import (
     PhaseTimer,
+    ResourceSampler,
     Span,
     SpanCollector,
     active,
@@ -46,6 +53,7 @@ from repro.obs.tracing import (
     collect_spans,
     phase,
     span,
+    to_chrome_trace,
 )
 
 __all__ = [
@@ -55,6 +63,10 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "GATE_BUCKETS",
+    "PROBE_BUCKETS",
+    "ProbeConfig",
+    "ProbeSuite",
     "EVENT_SCHEMAS",
     "RUN_END_STATUSES",
     "SCHEMA_VERSION",
@@ -63,6 +75,7 @@ __all__ = [
     "read_events",
     "summarize_run",
     "PhaseTimer",
+    "ResourceSampler",
     "Span",
     "SpanCollector",
     "active",
@@ -71,4 +84,5 @@ __all__ = [
     "collect_spans",
     "phase",
     "span",
+    "to_chrome_trace",
 ]

@@ -51,6 +51,19 @@ EVENT_SCHEMAS: Dict[str, tuple] = {
     "observe": ("time", "facts", "steps", "skips"),
     # Benchmark measurements (MetricsRegistry dumps ride in ``metrics``).
     "bench": ("name", "metrics"),
+    # Model introspection: one per probe firing (repro.obs.probes).
+    "probe": (
+        "epoch",
+        "global_batch",
+        "cadence",
+        "stepped",
+        "grad_norm",
+        "modules",
+        "embeddings",
+        "gates",
+    ),
+    # Evaluation diagnostics (repro.eval.diagnostics decomposition).
+    "diagnostic": ("task", "setting", "aggregate", "relations", "timestamps"),
 }
 
 RUN_END_STATUSES = ("completed", "interrupted", "failed")

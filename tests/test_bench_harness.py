@@ -1,6 +1,19 @@
 """Lightweight tests for the benchmark harness (no model training)."""
 
+import json
+
+import pytest
+
 from repro.bench import BENCH_PROFILES, DEFAULT_METHODS, format_table
+from repro.bench.history import (
+    HistoryError,
+    append_entry,
+    detect_regression,
+    make_entry,
+    read_history,
+    summarize_history,
+    write_summary,
+)
 from repro.bench.runner import METHOD_BUILDERS, ONLINE_METHODS
 from repro.datasets import DATASET_PROFILES
 
@@ -60,3 +73,88 @@ class TestFormatTable:
     def test_empty_rows(self):
         text = format_table([], ["Method"])
         assert "Method" in text
+
+
+def _result(encoder=0.01, full=0.03, dataset="ICEWS14"):
+    return {
+        "dataset": dataset,
+        "encoder_seconds_per_step": encoder,
+        "seconds_per_step": full,
+        "steps": 7,
+    }
+
+
+class TestBenchHistory:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_entry(path, make_entry(_result(0.01)))
+        append_entry(path, make_entry(_result(0.02), extra={"injected_sleep": 0.01}))
+        entries = read_history(path)
+        assert len(entries) == 2
+        assert entries[0]["encoder_seconds_per_step"] == 0.01
+        assert entries[1]["injected_sleep"] == 0.01
+        assert all(e["name"] == "encoder" for e in entries)
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert read_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_make_entry_rejects_incomplete_result(self):
+        with pytest.raises(HistoryError):
+            make_entry({"dataset": "ICEWS14"})
+
+    def test_corrupt_history_line_reports_position(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"name": "encoder"}\nnot json\n')
+        with pytest.raises(HistoryError, match=":2"):
+            read_history(str(path))
+
+    def test_empty_history_passes_the_gate(self):
+        verdict = detect_regression([], candidate=0.05)
+        assert not verdict.regressed
+        assert verdict.baseline is None
+
+    def test_clean_candidate_within_noise_passes(self):
+        entries = [make_entry(_result(e)) for e in (0.010, 0.012, 0.011)]
+        verdict = detect_regression(entries, candidate=0.011, tolerance=1.2)
+        assert not verdict.regressed
+        assert verdict.baseline == 0.010
+
+    def test_slowdown_past_tolerance_is_flagged(self):
+        entries = [make_entry(_result(e)) for e in (0.010, 0.012, 0.011)]
+        verdict = detect_regression(entries, candidate=0.025, tolerance=1.2)
+        assert verdict.regressed
+        assert verdict.ratio == pytest.approx(2.5)
+        assert "REGRESSION" in str(verdict)
+
+    def test_baseline_is_min_of_rolling_window(self):
+        # The fast old entry falls outside the window, so it no longer
+        # drags the noise floor down.
+        entries = [make_entry(_result(e)) for e in (0.001, 0.010, 0.011, 0.012)]
+        verdict = detect_regression(entries, candidate=0.011, window=3)
+        assert verdict.baseline == 0.010
+        assert not verdict.regressed
+
+    def test_other_datasets_do_not_pollute_the_baseline(self):
+        entries = [
+            make_entry(_result(0.001, dataset="YAGO")),
+            make_entry(_result(0.010)),
+        ]
+        verdict = detect_regression(entries, candidate=0.011, dataset="ICEWS14")
+        assert verdict.baseline == 0.010
+
+    def test_tolerance_must_allow_slowdown(self):
+        with pytest.raises(HistoryError):
+            detect_regression([], candidate=0.01, tolerance=0.9)
+
+    def test_summary_written_per_dataset(self, tmp_path):
+        entries = [make_entry(_result(e)) for e in (0.010, 0.020)] + [
+            make_entry(_result(0.005, dataset="YAGO"))
+        ]
+        path = tmp_path / "BENCH_encoder.json"
+        summary = write_summary(str(path), entries)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(summary))
+        stats = on_disk["datasets"]["ICEWS14"]["encoder_seconds_per_step"]
+        assert stats["min"] == 0.010
+        assert stats["last"] == 0.020
+        assert on_disk["datasets"]["YAGO"]["entries"] == 1

@@ -1,5 +1,6 @@
 """Tests for checkpoint/TSV persistence and the CLI."""
 
+import json
 import os
 
 import numpy as np
@@ -165,6 +166,30 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "ICEWS14" in out
         assert "#Entities" in out
+
+    def test_datasets_json_format_parses(self, capsys):
+        assert main(["datasets", "--format", "json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "ICEWS14" in stats
+        assert stats["YAGO"]["#Entities"] > 0
+
+    def test_report_json_format_round_trips(self, tmp_path, capsys):
+        from repro.obs import RunReporter, read_events, summarize_run
+
+        path = str(tmp_path / "run.jsonl")
+        with RunReporter(path) as reporter:
+            reporter.emit("run_start", schema_version=1, command="t", config={"dim": 8})
+            reporter.emit(
+                "epoch", epoch=1, loss_joint=1.5, loss_entity=1.0, loss_relation=0.5,
+                lr=0.001, nonfinite_skips=0, batches=4, global_batch=4, seconds=0.2,
+                phase_seconds={"evolve": {"seconds": 0.1, "calls": 4}}, spans_open=0,
+            )
+            reporter.emit("run_end", status="completed", epochs_completed=1)
+        assert main(["report", path, "--format", "json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(
+            json.dumps(summarize_run(read_events(path)), sort_keys=True)
+        )
 
     def test_hypergraph_command(self, capsys):
         assert main(["hypergraph", "--dataset", "YAGO", "--time", "2"]) == 0

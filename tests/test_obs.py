@@ -235,6 +235,25 @@ def _one_of_each_event(reporter):
     reporter.emit("nonfinite_skip", epoch=1, global_batch=2, stage="loss")
     reporter.emit("observe", time=9, facts=17, steps=3, skips=0)
     reporter.emit("bench", name="encoder", metrics={"metrics": []})
+    reporter.emit(
+        "probe",
+        epoch=1,
+        global_batch=4,
+        cadence=4,
+        stepped=True,
+        grad_norm=0.5,
+        modules={"tim": {"grad_norm": 0.5, "weight_norm": 2.0, "update_ratio": 0.01}},
+        embeddings={"entity_embedding": {"mean_norm": 1.0, "drift": 0.0, "total_drift": 0.0}},
+        gates={"lstm": {"input": 0.1, "forget": 0.2, "output": 0.3, "calls": 2}},
+    )
+    reporter.emit(
+        "diagnostic",
+        task="entity",
+        setting="raw",
+        aggregate={"MRR": 25.0, "count": 4},
+        relations={"0": {"MRR": 25.0, "count": 4}},
+        timestamps={"9": {"MRR": 25.0, "count": 4}},
+    )
     reporter.emit("run_end", status="completed", epochs_completed=1)
 
 
