@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: fail if the decoder or the full step regresses.
+
+Runs the instrumented decoder benchmark (batched Conv-TransE decode
+under the baseline's precision policy) on the synthetic ICEWS14
+surrogate and compares BOTH measured figures against the checked-in
+budgets in ``benchmarks/decoder_baseline.json``:
+
+* ``decoder_seconds_per_step`` — the Eq. 11-14 decode + time-variability
+  losses, the path this PR batches;
+* ``seconds_per_step`` — the full training step (loss + backward), the
+  headline number that catches a regression anywhere in the step, not
+  just in the decode.
+
+Either figure exceeding ``baseline * tolerance`` (default 2x, generous
+enough to absorb CI hardware variation while still catching a return to
+the per-snapshot decode loop or an accidental float64 fallback) fails
+the gate.  A missing or unreadable baseline is a hard failure — a
+silently absent budget is the same as no gate at all.
+
+The measurement is also emitted in the :class:`repro.obs.MetricsRegistry`
+JSON format (``--metrics-out``), which CI uploads as a build artifact.
+
+Usage:
+    PYTHONPATH=src python scripts/check_step_budget.py \
+        [--tolerance 2.0] [--metrics-out decoder_metrics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import benchmark_decoder
+from repro.obs import MetricsRegistry
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "decoder_baseline.json"
+
+REQUIRED_KEYS = ("dataset", "decoder_seconds_per_step", "seconds_per_step")
+
+
+def load_baseline(path: Path) -> dict:
+    """The checked-in budgets; any problem reading them fails the gate."""
+    try:
+        baseline = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"FAIL: baseline file {path} is missing — the decoder/full-step "
+            "budget gate cannot run. Restore it or regenerate with "
+            "--update-baseline against a known-good checkout."
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"FAIL: baseline file {path} is unreadable: {exc}")
+    missing = [key for key in REQUIRED_KEYS if key not in baseline]
+    if missing:
+        raise SystemExit(f"FAIL: baseline file {path} lacks required keys {missing}")
+    return baseline
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor over the checked-in budgets",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured timings back to the baseline file",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the measurement as MetricsRegistry JSON to this path",
+    )
+    args = parser.parse_args()
+
+    baseline = load_baseline(BASELINE_PATH)
+    dtype = baseline.get("dtype", "float32")
+    registry = MetricsRegistry()
+    result = benchmark_decoder(baseline["dataset"], dtype=dtype, registry=registry)
+    decoder_ms = result["decoder_seconds_per_step"] * 1000
+    full_ms = result["seconds_per_step"] * 1000
+    decoder_budget_ms = baseline["decoder_seconds_per_step"] * 1000 * args.tolerance
+    full_budget_ms = baseline["seconds_per_step"] * 1000 * args.tolerance
+    registry.gauge(
+        "decoder_budget_seconds", help="baseline * tolerance, the decoder threshold"
+    ).set(decoder_budget_ms / 1000, dataset=result["dataset"], dtype=dtype)
+    registry.gauge(
+        "step_budget_seconds", help="baseline * tolerance, the full-step threshold"
+    ).set(full_budget_ms / 1000, dataset=result["dataset"], dtype=dtype)
+
+    print(f"dataset:            {result['dataset']} ({result['steps']} steps, "
+          f"{dtype}, batched={result['batched_decoder']})")
+    print(f"decoder step:       {decoder_ms:.2f} ms "
+          f"(budget {decoder_budget_ms:.2f} ms = "
+          f"{baseline['decoder_seconds_per_step'] * 1000:.2f} ms x {args.tolerance:g})")
+    print(f"full training step: {full_ms:.2f} ms "
+          f"(budget {full_budget_ms:.2f} ms = "
+          f"{baseline['seconds_per_step'] * 1000:.2f} ms x {args.tolerance:g})")
+    for name, stats in result["phases"].items():
+        print(f"  phase {name:<11} {stats['seconds'] * 1000:8.1f} ms "
+              f"over {stats['calls']} calls")
+
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(registry.to_json() + "\n")
+        print(f"metrics written to {args.metrics_out}")
+
+    if args.update_baseline:
+        baseline["decoder_seconds_per_step"] = result["decoder_seconds_per_step"]
+        baseline["seconds_per_step"] = result["seconds_per_step"]
+        baseline["dtype"] = result["dtype"]
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    failed = False
+    if decoder_ms > decoder_budget_ms:
+        print(f"FAIL: decoder step {decoder_ms:.2f} ms exceeds "
+              f"budget {decoder_budget_ms:.2f} ms")
+        failed = True
+    if full_ms > full_budget_ms:
+        print(f"FAIL: full step {full_ms:.2f} ms exceeds "
+              f"budget {full_budget_ms:.2f} ms")
+        failed = True
+    if failed:
+        return 1
+    print("OK: decoder and full step within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,24 @@ array([[3., 3., 3.],
        [3., 3., 3.]])
 """
 
+from repro.autograd.dtype import (
+    SUPPORTED_DTYPES,
+    DtypePolicy,
+    default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "DtypePolicy",
+    "SUPPORTED_DTYPES",
+    "default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+]

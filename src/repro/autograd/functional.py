@@ -87,7 +87,7 @@ def scatter_add(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     index = np.asarray(index, dtype=np.int64)
     if index.ndim != 1 or len(index) != src.data.shape[0]:
         raise ValueError("index must be 1-D with one entry per src row")
-    out_data = np.zeros((num_segments,) + src.data.shape[1:])
+    out_data = np.zeros((num_segments,) + src.data.shape[1:], dtype=src.data.dtype)
     np.add.at(out_data, index, src.data)
 
     def backward(grad: np.ndarray) -> None:
@@ -110,7 +110,7 @@ def segment_sum(src: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tens
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if segment_ids.ndim != 1 or len(segment_ids) != src.data.shape[0]:
         raise ValueError("segment_ids must be 1-D with one entry per src row")
-    out_data = np.zeros((num_segments,) + src.data.shape[1:])
+    out_data = np.zeros((num_segments,) + src.data.shape[1:], dtype=src.data.dtype)
     if len(segment_ids):
         if np.all(segment_ids[1:] >= segment_ids[:-1]):
             boundaries = np.flatnonzero(
@@ -174,7 +174,7 @@ def typed_linear(x: Tensor, weight: Tensor, types: np.ndarray) -> Tensor:
 def segment_mean(src: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     """Mean-pool rows of ``src`` per segment; empty segments stay zero."""
     index = np.asarray(index, dtype=np.int64)
-    counts = np.bincount(index, minlength=num_segments).astype(np.float64)
+    counts = np.bincount(index, minlength=num_segments).astype(src.data.dtype)
     safe = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (src.data.ndim - 1))
     summed = scatter_add(src, index, num_segments)
     return summed * Tensor(1.0 / safe)
@@ -187,7 +187,7 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng or np.random.default_rng()
-    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    mask = ((rng.random(x.data.shape) >= p) / (1.0 - p)).astype(x.data.dtype)
     return x * Tensor(mask)
 
 
@@ -209,13 +209,37 @@ def rrelu(
         neg_slope = rng.uniform(lower, upper, size=x.data.shape)
     else:
         neg_slope = (lower + upper) / 2.0
-    slope = np.where(x.data > 0, 1.0, neg_slope)
+    slope = np.where(x.data > 0, 1.0, neg_slope).astype(x.data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(np.asarray(grad) * slope)
 
     return Tensor._from_op(x.data * slope, (x,), backward, "rrelu")
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``.
+
+    Uses the identity ``softplus(x) = max(x, 0) + log1p(exp(-|x|))`` so
+    neither branch overflows: for large positive ``x`` the result is
+    ``x + log1p(exp(-x)) ≈ x``, for large negative ``x`` it decays to
+    ``exp(x)`` through ``log1p``.  The gradient is ``sigmoid(x)``,
+    computed branch-wise the same way ``Tensor.sigmoid`` does.
+    """
+    z = x.data
+    out_data = np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            sig = np.empty_like(z)
+            pos = z >= 0
+            sig[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+            ez = np.exp(z[~pos])
+            sig[~pos] = ez / (1.0 + ez)
+            x._accumulate(np.asarray(grad) * sig)
+
+    return Tensor._from_op(out_data, (x,), backward, "softplus")
 
 
 def layer_norm(x: Tensor, eps: float = 1e-5) -> Tensor:
@@ -284,7 +308,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, padding=(0,
 def _col2im(cols, x_shape, kh, kw, ph, pw, out_h, out_w) -> np.ndarray:
     """Fold ``(B, C*kh*kw, L)`` columns back into the input gradient."""
     batch, channels, height, width = x_shape
-    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw))
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype)
     cols = cols.reshape(batch, channels, kh, kw, out_h, out_w)
     for i in range(kh):
         for j in range(kw):

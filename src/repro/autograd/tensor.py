@@ -7,8 +7,11 @@ and a closure that, given the output gradient already accumulated in
 :meth:`Tensor.backward` performs a topological sort of the recorded graph
 and runs the closures in reverse order.
 
-All arrays are stored as ``float64`` unless constructed otherwise; the
-numerical gradient checks in the test suite rely on double precision.
+All arrays are stored in the active default dtype (``float64`` unless a
+:class:`~repro.autograd.dtype.DtypePolicy` says otherwise; the numerical
+gradient checks in the test suite rely on double precision).  Gradients
+are always accumulated in the dtype of the tensor they belong to, so
+mixed-precision graphs never silently upcast a float32 model's grads.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.autograd.dtype import default_dtype
 
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
@@ -44,7 +49,7 @@ def no_grad():
 def _as_array(value: TensorLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=default_dtype())
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -159,7 +164,10 @@ class Tensor:
     # Gradient accumulation
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        # Gradients live in their tensor's own dtype, independent of the
+        # ambient policy: a float64 reference graph stays float64 even
+        # under an active float32 DtypePolicy (and vice versa).
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -185,7 +193,7 @@ class Tensor:
                     f"scalar output, got shape {self.data.shape}"
                 )
             grad = np.ones_like(self.data)
-        self._accumulate(np.asarray(grad, dtype=np.float64))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
 
         ordered: list[Tensor] = []
         visited: set[int] = set()
@@ -361,7 +369,7 @@ class Tensor:
     def sigmoid(self) -> "Tensor":
         """Elementwise logistic function (numerically stable)."""
         # Numerically stable logistic: evaluate each branch only where valid.
-        z = np.asarray(self.data, dtype=np.float64)
+        z = self.data
         out_data = np.empty_like(z)
         pos = z >= 0
         out_data[pos] = 1.0 / (1.0 + np.exp(-z[pos]))

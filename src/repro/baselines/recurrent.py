@@ -55,8 +55,8 @@ class RecurrentEncoderBaseline(SequentialForecaster):
         self.num_relations = num_relations
         self.dim = dim
         self.lambda_entity = lambda_entity
-        self.entity_embedding = Parameter(np.empty((num_entities, dim)))
-        self.relation_embedding = Parameter(np.empty((2 * num_relations, dim)))
+        self.entity_embedding = Parameter(np.zeros((num_entities, dim)))
+        self.relation_embedding = Parameter(np.zeros((2 * num_relations, dim)))
         from repro.nn import init
 
         init.xavier_uniform_(self.entity_embedding, rng=rng)

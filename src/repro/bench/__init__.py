@@ -13,6 +13,7 @@ from repro.bench.history import (
     HistoryError,
     RegressionVerdict,
     append_entry,
+    component_key,
     detect_regression,
     make_entry,
     read_history,
@@ -24,6 +25,7 @@ from repro.bench.runner import (
     DEFAULT_METHODS,
     BenchProfile,
     TrainedMethod,
+    benchmark_decoder,
     benchmark_encoder,
     get_trained,
     retia_variant,
@@ -40,7 +42,9 @@ __all__ = [
     "RegressionVerdict",
     "TrainedMethod",
     "append_entry",
+    "benchmark_decoder",
     "benchmark_encoder",
+    "component_key",
     "detect_regression",
     "get_trained",
     "make_entry",

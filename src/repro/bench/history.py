@@ -36,29 +36,41 @@ DEFAULT_TOLERANCE = 1.2
 #: Rolling window of history entries the gate and summary consider.
 DEFAULT_WINDOW = 10
 
-#: The measurement gated on (also summarised: the full-step figure).
+#: The measurements gated on (also summarised: the full-step figure).
 KEY_ENCODER = "encoder_seconds_per_step"
+KEY_DECODER = "decoder_seconds_per_step"
 KEY_FULL = "seconds_per_step"
+
+#: Component-specific timing key per benchmark name.
+COMPONENT_KEYS = {"encoder": KEY_ENCODER, "decoder": KEY_DECODER}
 
 
 class HistoryError(ValueError):
     """A malformed history file or entry."""
 
 
+def component_key(name: str) -> str:
+    """The per-step timing key a named benchmark is gated on."""
+    return COMPONENT_KEYS.get(name, KEY_ENCODER)
+
+
 def make_entry(result: Dict, name: str = "encoder", extra: Optional[Dict] = None) -> dict:
-    """One history record from a :func:`benchmark_encoder`-style result."""
-    for key in ("dataset", KEY_ENCODER, KEY_FULL):
-        if key not in result:
-            raise HistoryError(f"benchmark result lacks required key {key!r}")
+    """One history record from a ``benchmark_encoder``/``-decoder`` result."""
+    key = component_key(name)
+    for required in ("dataset", key, KEY_FULL):
+        if required not in result:
+            raise HistoryError(f"benchmark result lacks required key {required!r}")
     entry = {
         "schema_version": HISTORY_SCHEMA_VERSION,
         "name": name,
         "recorded_at": time.time(),
         "dataset": result["dataset"],
-        KEY_ENCODER: float(result[KEY_ENCODER]),
+        key: float(result[key]),
         KEY_FULL: float(result[KEY_FULL]),
         "steps": int(result.get("steps", 0)),
     }
+    if "dtype" in result:
+        entry["dtype"] = str(result["dtype"])
     if extra:
         entry.update(extra)
     return entry
@@ -169,20 +181,21 @@ def summarize_history(
     entries: List[dict], name: str = "encoder", window: int = DEFAULT_WINDOW
 ) -> dict:
     """Rolling per-dataset summary (the ``BENCH_encoder.json`` payload)."""
+    key = component_key(name)
     datasets: Dict[str, dict] = {}
-    for dataset in sorted({e.get("dataset") for e in _relevant(entries, name, None, KEY_ENCODER)}):
-        relevant = _relevant(entries, name, dataset, KEY_ENCODER)
+    for dataset in sorted({e.get("dataset") for e in _relevant(entries, name, None, key)}):
+        relevant = _relevant(entries, name, dataset, key)
         tail = relevant[-window:]
-        encoder = [e[KEY_ENCODER] for e in tail]
+        component = [e[key] for e in tail]
         full = [e[KEY_FULL] for e in tail if KEY_FULL in e]
         datasets[dataset] = {
             "entries": len(relevant),
             "window_entries": len(tail),
-            KEY_ENCODER: {
-                "min": min(encoder),
-                "median": median(encoder),
-                "mean": mean(encoder),
-                "last": encoder[-1],
+            key: {
+                "min": min(component),
+                "median": median(component),
+                "mean": mean(component),
+                "last": component[-1],
             },
             KEY_FULL: {
                 "min": min(full),

@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+import numpy as np
+
 from repro import timing
 from repro.obs import MetricsRegistry
 
@@ -276,6 +278,7 @@ def benchmark_encoder(
     warmup: bool = True,
     use_cache: bool = True,
     seed: int = 0,
+    dtype: str = "float64",
     registry: Optional[MetricsRegistry] = None,
     reporter=None,
     per_step_sleep: float = 0.0,
@@ -309,7 +312,7 @@ def benchmark_encoder(
     """
     dataset = bench_dataset(dataset_name)
     profile = BENCH_PROFILES[dataset_name]
-    model = RETIA(build_retia_config(dataset, profile, seed=seed))
+    model = RETIA(build_retia_config(dataset, profile, seed=seed, dtype=dtype))
     model.set_history(dataset.train)
     if not use_cache:
         model.snapshot_cache = type(model.snapshot_cache)(max_entries=0)
@@ -346,6 +349,7 @@ def benchmark_encoder(
     result = {
         "dataset": dataset_name,
         "steps": len(snapshots),
+        "dtype": model.config.dtype,
         "encoder_seconds_per_step": encoder_total / steps,
         "total_seconds": total,
         "seconds_per_step": total / steps,
@@ -370,6 +374,137 @@ def benchmark_encoder(
         extra = {"injected_sleep": per_step_sleep} if per_step_sleep else None
         append_entry(history_path, make_entry(result, name="encoder", extra=extra))
     return result
+
+
+def benchmark_decoder(
+    dataset_name: str = "ICEWS14",
+    warmup: bool = True,
+    seed: int = 0,
+    dtype: str = "float64",
+    batched: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    reporter=None,
+    per_step_sleep: float = 0.0,
+    history_path: Optional[str] = None,
+) -> Dict:
+    """Time the Conv-TransE decode + time-variability loss per step.
+
+    Mirror of :func:`benchmark_encoder` for the other half of the
+    training step.  ``decoder_seconds_per_step`` times the Eq. 11–14
+    forward — the per-snapshot ``(subj, rel)``/``(subj, obj)`` gathers,
+    Conv-TransE queries, candidate scoring softmaxes and the summed-
+    probability NLLs — over pre-evolved embedding stacks (the encoder
+    runs untimed, outside the measured region, with gradients recorded
+    so the decode cost includes tape building).  ``seconds_per_step``
+    times the full training batch (``loss_on_snapshot`` + ``backward``),
+    the headline the full-step budget gates on.
+
+    ``dtype`` and ``batched`` select the precision policy and the
+    batched-vs-loop decode path, so one harness produces every cell of
+    the EXPERIMENTS.md runtime table.
+    """
+    from repro.nn import losses
+
+    dataset = bench_dataset(dataset_name)
+    profile = BENCH_PROFILES[dataset_name]
+    model = RETIA(
+        build_retia_config(
+            dataset, profile, seed=seed, dtype=dtype, batched_decoder=batched
+        )
+    )
+    model.set_history(dataset.train)
+    model.train()
+
+    snapshots = [
+        s
+        for s in (dataset.train.snapshot(int(t)) for t in dataset.train.timestamps[1:])
+        if not s.is_empty
+    ]
+    if warmup:
+        for snapshot in snapshots:
+            joint, _, _ = model.loss_on_snapshot(snapshot)
+            joint.backward()
+
+    # Pre-evolve each step's embedding stacks so the timed loop isolates
+    # the decode.  Queries mirror loss_on_snapshot exactly.
+    m = model.config.num_relations
+    prepared = []
+    for snapshot in snapshots:
+        entity_list, relation_list = model.evolve(model.history_before(snapshot.time))
+        triples = snapshot.triples
+        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
+        queries = np.concatenate(
+            [np.stack([s, r], axis=1), np.stack([o, r + m], axis=1)]
+        )
+        entity_targets = np.concatenate([o, s])
+        pairs = np.stack([s, o], axis=1)
+        prepared.append((entity_list, relation_list, queries, entity_targets, pairs, r))
+
+    decoder_start = time.perf_counter()
+    for entity_list, relation_list, queries, entity_targets, pairs, r in prepared:
+        with model._dtype_policy:
+            entity_probs = model._entity_probabilities(entity_list, relation_list, queries)
+            losses.nll_of_summed_probs(entity_probs, entity_targets)
+            relation_probs = model._relation_probabilities(entity_list, relation_list, pairs)
+            losses.nll_of_summed_probs(relation_probs, r)
+        if per_step_sleep > 0:
+            time.sleep(per_step_sleep)
+    decoder_total = time.perf_counter() - decoder_start
+    del prepared
+
+    timer = timing.PhaseTimer()
+    start = time.perf_counter()
+    with timing.collect(timer):
+        for snapshot in snapshots:
+            joint, _, _ = model.loss_on_snapshot(snapshot)
+            joint.backward()
+            if per_step_sleep > 0:
+                time.sleep(per_step_sleep)
+    total = time.perf_counter() - start
+
+    steps = max(1, len(snapshots))
+    result = {
+        "dataset": dataset_name,
+        "steps": len(snapshots),
+        "dtype": model.config.dtype,
+        "batched_decoder": batched,
+        "decoder_seconds_per_step": decoder_total / steps,
+        "total_seconds": total,
+        "seconds_per_step": total / steps,
+        "phases": timer.summary(),
+    }
+    if registry is not None:
+        record_decoder_metrics(registry, result)
+    if reporter is not None:
+        scratch = registry if registry is not None else MetricsRegistry()
+        if registry is None:
+            record_decoder_metrics(scratch, result)
+        reporter.emit("bench", name="decoder", metrics=scratch.to_dict(), result=result)
+    if history_path is not None:
+        from repro.bench.history import append_entry, make_entry
+
+        extra = {"injected_sleep": per_step_sleep} if per_step_sleep else None
+        append_entry(history_path, make_entry(result, name="decoder", extra=extra))
+    return result
+
+
+def record_decoder_metrics(registry: MetricsRegistry, result: Dict) -> None:
+    """Write one :func:`benchmark_decoder` result into ``registry``."""
+    labels = {"dataset": result["dataset"], "dtype": result["dtype"]}
+    registry.gauge(
+        "decoder_seconds_per_step",
+        help="one Eq. 11-14 decode + loss forward per training step",
+    ).set(result["decoder_seconds_per_step"], **labels)
+    registry.gauge(
+        "train_seconds_per_step", help="full training step (loss + backward)"
+    ).set(result["seconds_per_step"], **labels)
+    registry.counter("bench_steps_total", help="timed training steps").inc(
+        result["steps"], **labels
+    )
+    for phase_name, stats in result["phases"].items():
+        registry.gauge(
+            "phase_seconds", help="per-phase wall-clock over the timed loop"
+        ).set(stats["seconds"], phase=phase_name, **labels)
 
 
 def record_encoder_metrics(registry: MetricsRegistry, result: Dict) -> None:

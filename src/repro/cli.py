@@ -93,6 +93,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         history_length=args.history,
         num_kernels=args.kernels,
         seed=args.seed,
+        dtype=args.dtype,
     )
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
@@ -144,6 +145,10 @@ def _load_eval_model(args: argparse.Namespace):
     if config_dict is None:
         print("checkpoint has no config blob; cannot rebuild the model", file=sys.stderr)
         return dataset, None
+    if getattr(args, "dtype", None):
+        # Evaluate a float64 checkpoint under float32 (or vice versa):
+        # parameters are cast on load, activations follow the policy.
+        config_dict = dict(config_dict, dtype=args.dtype)
     model = RETIA(RETIAConfig(**config_dict))
     model.load_state_dict(state)
     model.set_history(dataset.train)
@@ -212,9 +217,11 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Benchmark the encoder, append to history, gate on regression."""
+    """Benchmark a component, append to history, gate on regression."""
     from repro.bench import (
+        benchmark_decoder,
         benchmark_encoder,
+        component_key,
         detect_regression,
         make_entry,
         append_entry,
@@ -222,26 +229,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_summary,
     )
 
+    component = args.component
+    key = component_key(component)
     baseline_entries = read_history(args.history) if args.history else []
     results = []
     for repeat in range(args.repeats):
-        results.append(
-            benchmark_encoder(
+        if component == "decoder":
+            result = benchmark_decoder(
                 args.dataset,
                 seed=args.seed,
+                dtype=args.dtype,
                 per_step_sleep=args.inject_sleep_ms / 1000.0,
             )
-        )
+        else:
+            result = benchmark_encoder(
+                args.dataset,
+                seed=args.seed,
+                dtype=args.dtype,
+                per_step_sleep=args.inject_sleep_ms / 1000.0,
+            )
+        results.append(result)
         print(
             f"repeat {repeat + 1}/{args.repeats}: "
-            f"encoder {results[-1]['encoder_seconds_per_step'] * 1000:.2f} ms/step, "
-            f"full step {results[-1]['seconds_per_step'] * 1000:.2f} ms/step"
+            f"{component} {result[key] * 1000:.2f} ms/step, "
+            f"full step {result['seconds_per_step'] * 1000:.2f} ms/step"
         )
-    candidate = min(r["encoder_seconds_per_step"] for r in results)
+    candidate = min(r[key] for r in results)
     verdict = detect_regression(
         baseline_entries,
         candidate,
+        name=component,
         dataset=args.dataset,
+        key=key,
         window=args.window,
         tolerance=args.tolerance,
     )
@@ -253,10 +272,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             else None
         )
         for result in results:
-            append_entry(args.history, make_entry(result, extra=extra))
+            append_entry(args.history, make_entry(result, name=component, extra=extra))
         entries = read_history(args.history)
         if args.summary:
-            write_summary(args.summary, entries, window=args.window)
+            write_summary(args.summary, entries, name=component, window=args.window)
             print(f"summary written to {args.summary}")
         print(f"{len(results)} entr{'y' if len(results) == 1 else 'ies'} appended "
               f"to {args.history} ({len(entries)} total)")
@@ -411,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--history", type=int, default=3)
     train.add_argument("--kernels", type=int, default=12)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float64",
+        help="model precision policy (float32 roughly halves step time)",
+    )
     train.add_argument("--out", default="retia_checkpoint.npz")
     train.add_argument(
         "--checkpoint-dir",
@@ -443,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = commands.add_parser("evaluate", help="evaluate a checkpoint")
     _add_dataset_argument(evaluate)
     evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="override the checkpoint's precision policy (default: as trained)",
+    )
     evaluate.add_argument("--online", action="store_true", help="online continuous training")
     evaluate.add_argument("--online-steps", type=int, default=1)
     evaluate.add_argument(
@@ -474,9 +505,21 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.set_defaults(handler=cmd_diagnose)
 
     bench = commands.add_parser(
-        "bench", help="benchmark the encoder and gate against recorded history"
+        "bench", help="benchmark a component and gate against recorded history"
     )
     _add_dataset_argument(bench)
+    bench.add_argument(
+        "--component",
+        choices=("encoder", "decoder"),
+        default="encoder",
+        help="which training-step component to time and gate on",
+    )
+    bench.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float64",
+        help="precision policy the benchmarked model runs under",
+    )
     bench.add_argument("--repeats", type=int, default=3, help="timed repeats (min-of-k)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--history", help="BENCH_history.jsonl trajectory to read/append")

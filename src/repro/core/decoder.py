@@ -17,6 +17,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.nn import Conv2d, Dropout, Linear, Module
+from repro.utils import seeded_rng
 
 
 class ConvTransE(Module):
@@ -45,7 +46,7 @@ class ConvTransE(Module):
         super().__init__()
         if kernel_width % 2 == 0:
             raise ValueError("kernel_width must be odd so padding preserves d")
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng(0)
         self.dim = dim
         self.conv = Conv2d(
             1,
@@ -73,3 +74,37 @@ class ConvTransE(Module):
     def probabilities(self, first: Tensor, second: Tensor, candidates: Tensor) -> Tensor:
         """Softmax scores, the ``p_t`` terms of Eq. 11–12."""
         return F.softmax(self.forward(first, second, candidates), axis=-1)
+
+    # ------------------------------------------------------------------
+    # Batched time-variability fast path
+    # ------------------------------------------------------------------
+    def queries_stacked(self, firsts: Tensor, seconds: Tensor) -> Tensor:
+        """Fuse ``(T, B, d)`` embedding stacks into ``(T, B, d)`` queries.
+
+        The T historical snapshots' query batches are flattened into one
+        ``(T·B, 1, 2, d)`` image so the conv / projection / dropout each
+        run once instead of T times.  Row t·B+i of the flat batch is
+        exactly row i of snapshot t's per-snapshot :meth:`query` call:
+        im2col rows, the conv/projection GEMM row slices, and the single
+        ``(T·B, d)`` dropout-mask draw (vs T sequential ``(B, d)`` draws
+        from the same generator) are all bitwise identical to the loop.
+        """
+        snaps, batch = firsts.shape[0], firsts.shape[1]
+        stacked = F.stack([firsts, seconds], axis=2)  # (T, B, 2, d)
+        image = stacked.reshape(snaps * batch, 1, 2, self.dim)
+        hidden = self.conv(image).relu()  # (T·B, K, 1, d)
+        flat = hidden.reshape(snaps * batch, -1)
+        queries = self.drop(self.project(flat).relu())
+        return queries.reshape(snaps, batch, self.dim)
+
+    def probabilities_multi(self, firsts: Tensor, seconds: Tensor, candidates: Tensor) -> Tensor:
+        """Per-snapshot softmax scores ``(T, B, C)`` in one batched pass.
+
+        ``firsts``/``seconds`` are ``(T, B, d)`` query-side stacks and
+        ``candidates`` the ``(T, C, d)`` per-snapshot candidate matrices;
+        scoring is one batched 3-D matmul followed by a softmax over the
+        candidate axis.
+        """
+        queries = self.queries_stacked(firsts, seconds)  # (T, B, d)
+        scores = queries @ candidates.transpose(0, 2, 1)  # (T, B, C)
+        return F.softmax(scores, axis=-1)

@@ -24,12 +24,13 @@ Every ablation the paper runs is a constructor switch:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import DtypePolicy, Tensor, no_grad, resolve_dtype
 from repro.autograd import functional as F
 from repro.core.decoder import ConvTransE
 from repro.core.eam import EntityAggregationModule
@@ -70,6 +71,14 @@ class RETIAConfig:
     hyper_mode: str = "full"
     time_variability: bool = True
     seed: int = 0
+    # Precision policy for every array the model creates.  The default
+    # honours REPRO_DTYPE so a CI leg can run the whole suite under
+    # float32 models while raw-autograd tests stay float64.
+    dtype: str = field(default_factory=lambda: os.environ.get("REPRO_DTYPE", "float64"))
+    # One stacked Conv-TransE pass over the k historical snapshots
+    # instead of k sequential decoder calls (bit-identical; see
+    # tests/test_decoder_fastpath.py).
+    batched_decoder: bool = True
 
     def __post_init__(self):
         if self.relation_mode not in RELATION_MODES:
@@ -80,6 +89,9 @@ class RETIAConfig:
             raise ValueError("lambda_entity must be in [0, 1]")
         if self.history_length < 1:
             raise ValueError("history_length must be >= 1")
+        # Normalise (and validate) to the canonical dtype name so config
+        # equality and checkpoint round-trips are exact.
+        object.__setattr__(self, "dtype", resolve_dtype(self.dtype).name)
 
 
 class RETIA(Module):
@@ -88,34 +100,38 @@ class RETIA(Module):
     def __init__(self, config: RETIAConfig):
         super().__init__()
         self.config = config
+        # Every array the model ever builds — parameters here, activations
+        # in the forward entry points below — is created under this policy.
+        self._dtype_policy = DtypePolicy(config.dtype)
         rng = seeded_rng(config.seed)
         n, m, d = config.num_entities, config.num_relations, config.dim
 
-        # Input embedding matrices (Table I: E_0, R_0, HR_0).
-        self.entity_embedding = Parameter(np.empty((n, d)))
-        self.relation_embedding = Parameter(np.empty((2 * m, d)))
-        self.hyper_embedding = Parameter(np.empty((2 * NUM_HYPERRELATIONS, d)))
-        init.xavier_uniform_(self.entity_embedding, rng=rng)
-        init.xavier_uniform_(self.relation_embedding, rng=rng)
-        init.xavier_uniform_(self.hyper_embedding, rng=rng)
-        # Disconnected relation bank the EAM falls back to when the TIM
-        # channel is ablated away (Section IV-D1).
-        self.eam_relation_embedding = Parameter(np.empty((2 * m, d)))
-        init.xavier_uniform_(self.eam_relation_embedding, rng=rng)
+        with self._dtype_policy:
+            # Input embedding matrices (Table I: E_0, R_0, HR_0).
+            self.entity_embedding = Parameter(np.zeros((n, d)))
+            self.relation_embedding = Parameter(np.zeros((2 * m, d)))
+            self.hyper_embedding = Parameter(np.zeros((2 * NUM_HYPERRELATIONS, d)))
+            init.xavier_uniform_(self.entity_embedding, rng=rng)
+            init.xavier_uniform_(self.relation_embedding, rng=rng)
+            init.xavier_uniform_(self.hyper_embedding, rng=rng)
+            # Disconnected relation bank the EAM falls back to when the TIM
+            # channel is ablated away (Section IV-D1).
+            self.eam_relation_embedding = Parameter(np.zeros((2 * m, d)))
+            init.xavier_uniform_(self.eam_relation_embedding, rng=rng)
 
-        self.tim = TwinInteractModule(m, d, rng=rng)
-        self.ram = RelationAggregationModule(
-            d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
-        )
-        self.eam = EntityAggregationModule(
-            m, d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
-        )
-        self.entity_decoder = ConvTransE(
-            d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
-        )
-        self.relation_decoder = ConvTransE(
-            d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
-        )
+            self.tim = TwinInteractModule(m, d, rng=rng)
+            self.ram = RelationAggregationModule(
+                d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
+            )
+            self.eam = EntityAggregationModule(
+                m, d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
+            )
+            self.entity_decoder = ConvTransE(
+                d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
+            )
+            self.relation_decoder = ConvTransE(
+                d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
+            )
 
         self._history: Dict[int, Snapshot] = {}
         # Static per-snapshot structure (hypergraphs, edge normalisers,
@@ -177,6 +193,10 @@ class RETIA(Module):
         is empty the initial embeddings are returned as a single step so
         decoding is always possible.
         """
+        with self._dtype_policy:
+            return self._evolve(history)
+
+    def _evolve(self, history: List[Snapshot]) -> Tuple[List[Tensor], List[Tensor]]:
         cfg = self.config
         entity = l2_normalize_rows(self.entity_embedding)
         relation = self.relation_embedding
@@ -297,13 +317,27 @@ class RETIA(Module):
     # ------------------------------------------------------------------
     def _entity_probabilities(
         self, entity_list, relation_list, queries: np.ndarray
-    ) -> List[Tensor]:
-        """Per-historical-snapshot entity probabilities ``p_t^e``."""
+    ) -> Union[Tensor, List[Tensor]]:
+        """Per-historical-snapshot entity probabilities ``p_t^e``.
+
+        Returns a single stacked ``(T, B, N)`` tensor on the batched fast
+        path, or one ``(B, N)`` tensor per snapshot on the reference
+        loop; both shapes are accepted downstream by :func:`_sum_probs`
+        and :func:`repro.nn.losses.nll_of_summed_probs`.
+        """
         if not self.config.time_variability:
             entity_list, relation_list = entity_list[-1:], relation_list[-1:]
         queries = np.asarray(queries, dtype=np.int64)
-        probs = []
         with tracing.span("decoder", queries=len(queries), snapshots=len(entity_list)):
+            if self.config.batched_decoder:
+                snaps = len(entity_list)
+                t_rows = np.arange(snaps)[:, None]
+                entities = F.stack(entity_list)  # (T, N, d)
+                relations = F.stack(relation_list)  # (T, 2M, d)
+                subj = entities[(t_rows, queries[:, 0][None, :])]  # (T, B, d)
+                rel = relations[(t_rows, queries[:, 1][None, :])]  # (T, B, d)
+                return self.entity_decoder.probabilities_multi(subj, rel, entities)
+            probs = []
             for entity, relation in zip(entity_list, relation_list):
                 subj = entity.gather_rows(queries[:, 0])
                 rel = relation.gather_rows(queries[:, 1])
@@ -312,14 +346,23 @@ class RETIA(Module):
 
     def _relation_probabilities(
         self, entity_list, relation_list, pairs: np.ndarray
-    ) -> List[Tensor]:
+    ) -> Union[Tensor, List[Tensor]]:
         """Per-historical-snapshot relation probabilities ``p_t^r``."""
         if not self.config.time_variability:
             entity_list, relation_list = entity_list[-1:], relation_list[-1:]
         pairs = np.asarray(pairs, dtype=np.int64)
         m = self.config.num_relations
-        probs = []
         with tracing.span("decoder", queries=len(pairs), snapshots=len(entity_list)):
+            if self.config.batched_decoder:
+                snaps = len(entity_list)
+                t_rows = np.arange(snaps)[:, None]
+                entities = F.stack(entity_list)  # (T, N, d)
+                relations = F.stack(relation_list)  # (T, 2M, d)
+                subj = entities[(t_rows, pairs[:, 0][None, :])]
+                obj = entities[(t_rows, pairs[:, 1][None, :])]
+                candidates = relations[(t_rows, np.arange(m)[None, :])]  # (T, M, d)
+                return self.relation_decoder.probabilities_multi(subj, obj, candidates)
+            probs = []
             for entity, relation in zip(entity_list, relation_list):
                 subj = entity.gather_rows(pairs[:, 0])
                 obj = entity.gather_rows(pairs[:, 1])
@@ -327,7 +370,9 @@ class RETIA(Module):
         return probs
 
     @staticmethod
-    def _sum_probs(probs: List[Tensor]) -> np.ndarray:
+    def _sum_probs(probs: Union[Tensor, List[Tensor]]) -> np.ndarray:
+        if isinstance(probs, Tensor):  # stacked (T, B, C) from the fast path
+            return probs.data.sum(axis=0)
         total = probs[0].data.copy()
         for p in probs[1:]:
             total += p.data
@@ -355,7 +400,7 @@ class RETIA(Module):
         entity_list, relation_list = self._evolved_for(time)
         was_training = self.training
         self.eval()
-        with no_grad():
+        with no_grad(), self._dtype_policy:
             probs = self._entity_probabilities(entity_list, relation_list, queries)
         if was_training:
             self.train()
@@ -366,7 +411,7 @@ class RETIA(Module):
         entity_list, relation_list = self._evolved_for(time)
         was_training = self.training
         self.eval()
-        with no_grad():
+        with no_grad(), self._dtype_policy:
             probs = self._relation_probabilities(entity_list, relation_list, pairs)
         if was_training:
             self.train()
@@ -408,22 +453,26 @@ class RETIA(Module):
         """
         cfg = self.config
         history = self.history_before(target.time)
-        entity_list, relation_list = self.evolve(history)
+        with self._dtype_policy:
+            entity_list, relation_list = self._evolve(history)
 
-        triples = target.triples
-        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
-        queries = np.concatenate(
-            [np.stack([s, r], axis=1), np.stack([o, r + cfg.num_relations], axis=1)]
-        )
-        entity_targets = np.concatenate([o, s])
-        entity_probs = self._entity_probabilities(entity_list, relation_list, queries)
-        loss_entity = losses.nll_of_summed_probs(entity_probs, entity_targets)
+            triples = target.triples
+            s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
+            queries = np.concatenate(
+                [np.stack([s, r], axis=1), np.stack([o, r + cfg.num_relations], axis=1)]
+            )
+            entity_targets = np.concatenate([o, s])
+            entity_probs = self._entity_probabilities(entity_list, relation_list, queries)
+            loss_entity = losses.nll_of_summed_probs(entity_probs, entity_targets)
 
-        pairs = np.stack([s, o], axis=1)
-        relation_probs = self._relation_probabilities(entity_list, relation_list, pairs)
-        loss_relation = losses.nll_of_summed_probs(relation_probs, r)
+            pairs = np.stack([s, o], axis=1)
+            relation_probs = self._relation_probabilities(entity_list, relation_list, pairs)
+            loss_relation = losses.nll_of_summed_probs(relation_probs, r)
 
-        joint = loss_entity * cfg.lambda_entity + loss_relation * (1.0 - cfg.lambda_entity)
-        if self.static_constraint is not None and self.static_weight:
-            joint = joint + self.static_constraint.sequence_loss(entity_list) * self.static_weight
+            joint = loss_entity * cfg.lambda_entity + loss_relation * (1.0 - cfg.lambda_entity)
+            if self.static_constraint is not None and self.static_weight:
+                joint = (
+                    joint
+                    + self.static_constraint.sequence_loss(entity_list) * self.static_weight
+                )
         return joint, loss_entity, loss_relation

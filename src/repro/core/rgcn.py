@@ -59,8 +59,8 @@ class RGCNLayer(Module):
         self.dim = dim
         self.activation = activation
         self.dropout = dropout
-        self.weight = Parameter(np.empty((num_edge_types, dim, dim)))
-        self.self_weight = Parameter(np.empty((dim, dim)))
+        self.weight = Parameter(np.zeros((num_edge_types, dim, dim)))
+        self.self_weight = Parameter(np.zeros((dim, dim)))
         for t in range(num_edge_types):
             init.xavier_uniform_(_SliceView(self.weight, t), rng=rng)
         init.xavier_uniform_(self.self_weight, rng=rng)

@@ -90,8 +90,8 @@ class StaticGraphConstraint(Module):
         self.static_graph = static_graph
         self.num_entities = num_entities
         self.angle_step = math.radians(angle_step_degrees)
-        self.node_embedding = Parameter(np.empty((static_graph.num_entities, dim)))
-        self.relation_embedding = Parameter(np.empty((2 * static_graph.num_relations, dim)))
+        self.node_embedding = Parameter(np.zeros((static_graph.num_entities, dim)))
+        self.relation_embedding = Parameter(np.zeros((2 * static_graph.num_relations, dim)))
         init.xavier_uniform_(self.node_embedding, rng=rng)
         init.xavier_uniform_(self.relation_embedding, rng=rng)
         self.gcn = RGCNStack(

@@ -42,6 +42,7 @@ from repro.resilience import (
     NonFiniteGuard,
     ResilienceConfig,
     RunState,
+    RunStateError,
     TrainingInterrupted,
     load_run_state,
 )
@@ -172,10 +173,27 @@ class Trainer:
             optimizer_state=self.optimizer.state_dict(),
             trainer_rng_state=self._rng.bit_generator.state,
             model_rng_states=self.model.rng_state(),
+            dtype=self._model_dtype(),
             status=status,
         )
 
+    def _model_dtype(self) -> str:
+        """Canonical dtype name of the trained model ("float64" default)."""
+        config = getattr(self.model, "config", None)
+        dtype = getattr(config, "dtype", None)
+        if dtype is None:
+            params = self.model.parameters()
+            return params[0].data.dtype.name if params else "float64"
+        return np.dtype(dtype).name
+
     def _restore(self, state: RunState) -> None:
+        own_dtype = self._model_dtype()
+        if state.dtype != own_dtype:
+            raise RunStateError(
+                f"checkpoint was trained in {state.dtype} but the model is "
+                f"{own_dtype}; cross-dtype resume is not bit-exact — rebuild "
+                f"the model with dtype={state.dtype!r} (or retrain)"
+            )
         self.model.load_state_dict(state.model_state)
         self.model.mark_updated()
         self.optimizer.load_state_dict(state.optimizer_state)

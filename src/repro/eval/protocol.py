@@ -73,7 +73,12 @@ def evaluate_extrapolation(
             [np.stack([s, r], axis=1), np.stack([o, r + num_relations], axis=1)]
         )
         targets = np.concatenate([o, s])
-        scores = model.predict_entities(queries, int(time))
+        # A (subject, relation) pair with several true objects appears
+        # once per object; the model scores depend only on the pair, so
+        # score each distinct query once and scatter the rows back.
+        unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
+        # return_inverse shape for axis-unique varies across numpy 2.x.
+        scores = model.predict_entities(unique_queries, int(time))[inverse.ravel()]
         # Raw ranking never uses a mask, so skip building one even when a
         # FilterIndex was supplied.
         if setting == "raw":
@@ -85,7 +90,10 @@ def evaluate_extrapolation(
         # Relation task: (s, ?, o) ranked among the M true relations.
         if evaluate_relations:
             pairs = np.stack([s, o], axis=1)
-            rel_scores = model.predict_relations(pairs, int(time))
+            unique_pairs, pair_inverse = np.unique(pairs, axis=0, return_inverse=True)
+            rel_scores = model.predict_relations(unique_pairs, int(time))[
+                pair_inverse.ravel()
+            ]
             relation_acc.update(ranks_from_scores(rel_scores, r))
 
         if observe:

@@ -10,6 +10,7 @@ from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.utils import seeded_rng
 
 
 class Linear(Module):
@@ -29,7 +30,7 @@ class Linear(Module):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(np.empty((out_features, in_features)))
+        self.weight = Parameter(np.zeros((out_features, in_features)))
         init.xavier_uniform_(self.weight, rng=rng)
         if bias:
             self.bias = Parameter(np.zeros(out_features))
@@ -51,7 +52,7 @@ class Embedding(Module):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
-        self.weight = Parameter(np.empty((num_embeddings, embedding_dim)))
+        self.weight = Parameter(np.zeros((num_embeddings, embedding_dim)))
         init.xavier_uniform_(self.weight, rng=rng)
 
     def forward(self, index) -> Tensor:
@@ -78,7 +79,7 @@ class Conv2d(Module):
         super().__init__()
         kh, kw = kernel_size
         self.padding = tuple(padding)
-        self.weight = Parameter(np.empty((out_channels, in_channels, kh, kw)))
+        self.weight = Parameter(np.zeros((out_channels, in_channels, kh, kw)))
         init.xavier_uniform_(self.weight, rng=rng)
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
 
@@ -95,7 +96,9 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng or np.random.default_rng()
+        # Seeded default so default-constructed models are reproducible
+        # end to end (same idiom as RGCNLayer).
+        self._rng = rng if rng is not None else seeded_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply inverted dropout (training mode only)."""
@@ -123,7 +126,7 @@ class RReLU(Module):
         super().__init__()
         self.lower = lower
         self.upper = upper
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng if rng is not None else seeded_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply RReLU (random slope in training, mean slope in eval)."""

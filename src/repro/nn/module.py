@@ -133,7 +133,10 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast into the parameter's own dtype so loading a float64
+            # checkpoint into a float32 model (or vice versa) behaves
+            # like any other assignment under the precision policy.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "

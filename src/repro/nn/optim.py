@@ -60,7 +60,7 @@ class Optimizer:
             )
         restored = []
         for buf, p in zip(buffers, self.parameters):
-            arr = np.asarray(buf, dtype=np.float64)
+            arr = np.asarray(buf, dtype=p.data.dtype)
             if arr.shape != p.data.shape:
                 raise ValueError(
                     f"optimizer {name} buffer shape {arr.shape} does not "

@@ -36,8 +36,8 @@ class GRUCell(Module):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
-        self.weight_ih = Parameter(np.empty((3 * hidden_size, input_size)))
-        self.weight_hh = Parameter(np.empty((3 * hidden_size, hidden_size)))
+        self.weight_ih = Parameter(np.zeros((3 * hidden_size, input_size)))
+        self.weight_hh = Parameter(np.zeros((3 * hidden_size, hidden_size)))
         self.bias_ih = Parameter(np.zeros(3 * hidden_size))
         self.bias_hh = Parameter(np.zeros(3 * hidden_size))
         init.xavier_uniform_(self.weight_ih, rng=rng)
@@ -73,8 +73,8 @@ class LSTMCell(Module):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
-        self.weight_ih = Parameter(np.empty((4 * hidden_size, input_size)))
-        self.weight_hh = Parameter(np.empty((4 * hidden_size, hidden_size)))
+        self.weight_ih = Parameter(np.zeros((4 * hidden_size, input_size)))
+        self.weight_hh = Parameter(np.zeros((4 * hidden_size, hidden_size)))
         self.bias_ih = Parameter(np.zeros(4 * hidden_size))
         self.bias_hh = Parameter(np.zeros(4 * hidden_size))
         init.xavier_uniform_(self.weight_ih, rng=rng)

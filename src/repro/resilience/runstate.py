@@ -79,6 +79,11 @@ class RunState:
     trainer_rng_state: Optional[dict] = None
     model_rng_states: List[dict] = field(default_factory=list)
 
+    # Precision policy of the model that produced this state.  Optional
+    # in the meta blob (absent in pre-dtype version-1 archives, which
+    # were all float64), so the schema version stays at 1.
+    dtype: str = "float64"
+
     status: str = STATUS_RUNNING
     version: int = RUNSTATE_VERSION
 
@@ -123,6 +128,7 @@ class RunState:
             "optimizer_meta": optim_meta,
             "trainer_rng_state": self.trainer_rng_state,
             "model_rng_states": self.model_rng_states,
+            "dtype": self.dtype,
         }
         payload[_META_KEY] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -187,6 +193,7 @@ class RunState:
             optimizer_state=optimizer_state,
             trainer_rng_state=meta.get("trainer_rng_state"),
             model_rng_states=list(meta.get("model_rng_states", [])),
+            dtype=str(meta.get("dtype", "float64")),
             status=str(meta.get("status", STATUS_RUNNING)),
             version=int(version),
         )
