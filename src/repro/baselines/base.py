@@ -48,12 +48,12 @@ class TripleScorer(Module):
     # ------------------------------------------------------------------
     _max_trained_time: int = 0
 
-    def clamp_time(self, time: int) -> int:
-        return min(int(time), self._max_trained_time)
+    def clamp_time(self, ts: int) -> int:
+        return min(int(ts), self._max_trained_time)
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.int64)
-        times = np.full(len(queries), self.clamp_time(time))
+        times = np.full(len(queries), self.clamp_time(ts))
         was_training = self.training
         self.eval()
         with no_grad():
@@ -62,9 +62,9 @@ class TripleScorer(Module):
             self.train()
         return scores.data
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         pairs = np.asarray(pairs, dtype=np.int64)
-        times = np.full(len(pairs), self.clamp_time(time))
+        times = np.full(len(pairs), self.clamp_time(ts))
         was_training = self.training
         self.eval()
         with no_grad():
@@ -101,8 +101,8 @@ class SequentialForecaster(Module):
         self._history[snapshot.time] = snapshot
         self.mark_updated()
 
-    def history_before(self, time: int):
-        times = sorted(t for t in self._history if t < time)
+    def history_before(self, ts: int):
+        times = sorted(t for t in self._history if t < ts)
         return [self._history[t] for t in times[-self.history_length :]]
 
     def mark_updated(self) -> None:

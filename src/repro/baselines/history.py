@@ -77,7 +77,7 @@ class HistoryFrequency:
         self.vocab.add_graph(graph)
         return self
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         pop = self.vocab.popularity_vector() * self.popularity_weight
         rows = [
             self.vocab.entity_vector(int(s), int(r)) + pop
@@ -85,7 +85,7 @@ class HistoryFrequency:
         ]
         return np.stack(rows)
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         rows = [
             self.vocab.relation_vector(int(s), int(o))
             for s, o in np.asarray(pairs, dtype=np.int64)
@@ -181,7 +181,7 @@ class CyGNet(SequentialForecaster):
     # ------------------------------------------------------------------
     # ExtrapolationModel contract
     # ------------------------------------------------------------------
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         was_training = self.training
         self.eval()
         with no_grad():
@@ -190,7 +190,7 @@ class CyGNet(SequentialForecaster):
             self.train()
         return probs.data
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         was_training = self.training
         self.eval()
         with no_grad():

@@ -153,8 +153,8 @@ class RecurrentEncoderBaseline(SequentialForecaster):
     # ------------------------------------------------------------------
     # ExtrapolationModel contract
     # ------------------------------------------------------------------
-    def _predict(self, fn, rows, time):
-        history = self.history_before(time)
+    def _predict(self, fn, rows, ts):
+        history = self.history_before(ts)
         was_training = self.training
         self.eval()
         with no_grad():
@@ -167,11 +167,11 @@ class RecurrentEncoderBaseline(SequentialForecaster):
             total += p.data
         return total
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
-        return self._predict(self._entity_probs, queries, time)
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
+        return self._predict(self._entity_probs, queries, ts)
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
-        return self._predict(self._relation_probs, pairs, time)
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
+        return self._predict(self._relation_probs, pairs, ts)
 
 
 class REGCN(RecurrentEncoderBaseline):
@@ -276,20 +276,20 @@ class RENet(SequentialForecaster):
         joint = loss_entity * self.lambda_entity + loss_relation * (1 - self.lambda_entity)
         return joint, loss_entity, loss_relation
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         was_training = self.training
         self.eval()
         with no_grad():
-            logits = self._entity_logits(self._context(self.history_before(time)), queries)
+            logits = self._entity_logits(self._context(self.history_before(ts)), queries)
         if was_training:
             self.train()
         return logits.data
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         was_training = self.training
         self.eval()
         with no_grad():
-            logits = self._relation_logits(self._context(self.history_before(time)), pairs)
+            logits = self._relation_logits(self._context(self.history_before(ts)), pairs)
         if was_training:
             self.train()
         return logits.data

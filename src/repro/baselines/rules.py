@@ -48,9 +48,9 @@ class _TemporalIndex:
         for t in graph.timestamps:
             self.add_snapshot(graph.snapshot(int(t)))
 
-    def window(self, time: int, length: int) -> List[Tuple[int, np.ndarray]]:
+    def window(self, ts: int, length: int) -> List[Tuple[int, np.ndarray]]:
         """The last ``length`` known timestamps strictly before ``time``."""
-        times = sorted(t for t in self.by_time if t < time)
+        times = sorted(t for t in self.by_time if t < ts)
         return [(t, self.by_time[t]) for t in times[-length:]]
 
 
@@ -141,13 +141,13 @@ class TLogicRules:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.int64)
         scores = np.zeros((len(queries), self.num_entities))
-        window = dict(self.index.window(time, self.max_lag))
+        window = dict(self.index.window(ts, self.max_lag))
         for i, (s, r_head) in enumerate(queries):
             for rule in self.rules.get(int(r_head), ()):
-                edges = window.get(time - rule.lag)
+                edges = window.get(ts - rule.lag)
                 if edges is None or not len(edges):
                     continue
                 mask = (edges[:, 0] == s) & (edges[:, 1] == rule.body)
@@ -155,18 +155,18 @@ class TLogicRules:
                     scores[i, int(o)] += rule.confidence
         return scores
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         """Score relations by rules whose body fired for the pair."""
         pairs = np.asarray(pairs, dtype=np.int64)
         scores = np.zeros((len(pairs), self.num_relations))
-        window = dict(self.index.window(time, self.max_lag))
+        window = dict(self.index.window(ts, self.max_lag))
         heads_by_body: Dict[Tuple[int, int], List[TemporalRule]] = defaultdict(list)
         for rules in self.rules.values():
             for rule in rules:
                 heads_by_body[(rule.body, rule.lag)].append(rule)
         for i, (s, o) in enumerate(pairs):
             for lag in range(1, self.max_lag + 1):
-                edges = window.get(time - lag)
+                edges = window.get(ts - lag)
                 if edges is None or not len(edges):
                     continue
                 mask = (edges[:, 0] == s) & (edges[:, 2] == o)
@@ -213,20 +213,20 @@ class TITerPaths:
         self.index.add_graph(graph)
         return self
 
-    def _adjacency(self, time: int) -> Dict[int, List[Tuple[int, int, float]]]:
+    def _adjacency(self, ts: int) -> Dict[int, List[Tuple[int, int, float]]]:
         """Outgoing edges (relation, object, recency weight) per entity."""
         adjacency: Dict[int, List[Tuple[int, int, float]]] = defaultdict(list)
-        window = self.index.window(time, self.window_length)
+        window = self.index.window(ts, self.window_length)
         for age, (_, edges) in enumerate(reversed(window)):
             weight = self.decay**age
             for s, r, o in edges:
                 adjacency[int(s)].append((int(r), int(o), weight))
         return adjacency
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.int64)
         scores = np.zeros((len(queries), self.num_entities))
-        adjacency = self._adjacency(time)
+        adjacency = self._adjacency(ts)
         for i, (subject, relation) in enumerate(queries):
             beam: List[Tuple[float, int]] = [(1.0, int(subject))]
             for hop in range(self.max_hops):
@@ -243,11 +243,11 @@ class TITerPaths:
                     scores[i, node] += path_score
         return scores
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         """Score relations by recency-weighted (s -r-> o) evidence."""
         pairs = np.asarray(pairs, dtype=np.int64)
         scores = np.zeros((len(pairs), self.num_relations))
-        window = self.index.window(time, self.window_length)
+        window = self.index.window(ts, self.window_length)
         for age, (_, edges) in enumerate(reversed(window)):
             weight = self.decay**age
             for i, (s, o) in enumerate(pairs):
@@ -292,9 +292,9 @@ class XERTESubgraph:
         self.index.add_graph(graph)
         return self
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.int64)
-        window = self.index.window(time, self.window_length)
+        window = self.index.window(ts, self.window_length)
         if not window:
             return np.zeros((len(queries), self.num_entities))
         # Stack all window edges with recency weights once.
@@ -327,11 +327,11 @@ class XERTESubgraph:
             scores[i] = accumulated
         return scores
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         """Relation evidence from window co-occurrence (as TITer)."""
         helper = TITerPaths(self.num_entities, self.num_relations, self.window_length)
         helper.index = self.index
-        return helper.predict_relations(pairs, time)
+        return helper.predict_relations(pairs, ts)
 
     def observe(self, snapshot: Snapshot) -> None:
         self.index.add_snapshot(snapshot)

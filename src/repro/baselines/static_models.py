@@ -247,7 +247,7 @@ class RGCNStatic(TripleScorer):
         from repro.graph import Snapshot
 
         static = graph.to_static()
-        snapshot = Snapshot(static, self.num_entities, self.num_relations, time=0)
+        snapshot = Snapshot(static, self.num_entities, self.num_relations, ts=0)
         self._edges = snapshot.edges_with_inverse
         self._norm = snapshot.edge_norm
         return self

@@ -27,6 +27,7 @@ from repro.bench.runner import (
     TrainedMethod,
     benchmark_decoder,
     benchmark_encoder,
+    benchmark_eval,
     get_trained,
     retia_variant,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "append_entry",
     "benchmark_decoder",
     "benchmark_encoder",
+    "benchmark_eval",
     "component_key",
     "detect_regression",
     "get_trained",

@@ -39,10 +39,13 @@ DEFAULT_WINDOW = 10
 #: The measurements gated on (also summarised: the full-step figure).
 KEY_ENCODER = "encoder_seconds_per_step"
 KEY_DECODER = "decoder_seconds_per_step"
+KEY_EVAL = "eval_seconds_per_step"
 KEY_FULL = "seconds_per_step"
 
-#: Component-specific timing key per benchmark name.
-COMPONENT_KEYS = {"encoder": KEY_ENCODER, "decoder": KEY_DECODER}
+#: Component-specific timing key per benchmark name.  Eval entries carry
+#: a ``workers`` field; gate comparisons must prefilter on it (the CLI
+#: does) because a 1-worker and an 8-worker run are different series.
+COMPONENT_KEYS = {"encoder": KEY_ENCODER, "decoder": KEY_DECODER, "eval": KEY_EVAL}
 
 
 class HistoryError(ValueError):

@@ -17,6 +17,7 @@ reproduction target, not absolute numbers.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
@@ -486,6 +487,110 @@ def benchmark_decoder(
         extra = {"injected_sleep": per_step_sleep} if per_step_sleep else None
         append_entry(history_path, make_entry(result, name="decoder", extra=extra))
     return result
+
+
+def benchmark_eval(
+    dataset_name: str = "YAGO",
+    workers: int = 1,
+    seed: int = 0,
+    dtype: str = "float64",
+    registry: Optional[MetricsRegistry] = None,
+    reporter=None,
+    per_step_sleep: float = 0.0,
+    history_path: Optional[str] = None,
+) -> Dict:
+    """Time the full evaluation protocol at a given worker count.
+
+    Runs :func:`~repro.parallel.evaluate_extrapolation_sharded` over the
+    synthetic dataset's test split (``observe=True``, both tasks) and
+    reports ``eval_seconds_per_step`` — wall-clock per test timestamp —
+    plus the entity MRR, which must be identical across worker counts
+    (the determinism contract; ``scripts/check_parallel_equivalence.py``
+    gates on it).  ``cpus`` records the cores actually available so the
+    speedup gate can tell "no parallel win" from "no parallel hardware".
+
+    The model is untrained (fresh parameters, full train+valid history):
+    scoring cost depends on history shape and embedding sizes, not on
+    the parameter values, and skipping training keeps the 1/2/4/8-worker
+    sweep cheap enough for CI.
+
+    ``per_step_sleep`` injects that many seconds into every *timestamp
+    block* inside the workers — the deterministic fault the CI drill
+    uses; it is implemented here by wrapping the model's
+    ``predict_entities``.
+    """
+    from repro.parallel import evaluate_extrapolation_sharded
+
+    dataset = bench_dataset(dataset_name)
+    profile = BENCH_PROFILES[dataset_name]
+    model = RETIA(build_retia_config(dataset, profile, seed=seed, dtype=dtype))
+    model.set_history(dataset.train)
+    for t in dataset.valid.timestamps:
+        model.record_snapshot(dataset.valid.snapshot(int(t)))
+    model.eval()
+    if per_step_sleep > 0:
+        inner_predict = model.predict_entities
+
+        def slowed(queries, ts):
+            time.sleep(per_step_sleep)
+            return inner_predict(queries, ts)
+
+        model.predict_entities = slowed
+
+    start = time.perf_counter()
+    result_eval = evaluate_extrapolation_sharded(
+        model,
+        dataset.test,
+        workers=workers,
+        reporter=reporter,
+        registry=registry,
+    )
+    total = time.perf_counter() - start
+
+    steps = max(1, len(dataset.test.timestamps))
+    result = {
+        "dataset": dataset_name,
+        "steps": len(dataset.test.timestamps),
+        "dtype": model.config.dtype,
+        "workers": workers,
+        "cpus": os.cpu_count() or 1,
+        "eval_seconds_per_step": total / steps,
+        "total_seconds": total,
+        "seconds_per_step": total / steps,
+        "entity_mrr": result_eval.entity.get("MRR"),
+        "relation_mrr": result_eval.relation.get("MRR"),
+    }
+    if registry is not None:
+        record_eval_metrics(registry, result)
+    if reporter is not None:
+        scratch = registry if registry is not None else MetricsRegistry()
+        if registry is None:
+            record_eval_metrics(scratch, result)
+        reporter.emit("bench", name="eval", metrics=scratch.to_dict(), result=result)
+    if history_path is not None:
+        from repro.bench.history import append_entry, make_entry
+
+        extra = {"workers": workers, "cpus": result["cpus"]}
+        if per_step_sleep:
+            extra["injected_sleep"] = per_step_sleep
+        append_entry(history_path, make_entry(result, name="eval", extra=extra))
+    return result
+
+
+def record_eval_metrics(registry: MetricsRegistry, result: Dict) -> None:
+    """Write one :func:`benchmark_eval` result into ``registry``."""
+    labels = {
+        "dataset": result["dataset"],
+        "dtype": result["dtype"],
+        "workers": str(result["workers"]),
+    }
+    registry.gauge(
+        "eval_seconds_per_step",
+        help="full evaluation protocol wall-clock per test timestamp",
+    ).set(result["eval_seconds_per_step"], **labels)
+    registry.counter("bench_steps_total", help="timed eval timestamps").inc(
+        result["steps"], **labels
+    )
 
 
 def record_decoder_metrics(registry: MetricsRegistry, result: Dict) -> None:

@@ -41,12 +41,7 @@ import numpy as np
 
 from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
 from repro.datasets import DATASET_PROFILES, dataset_statistics, load_dataset
-from repro.eval import (
-    diagnose_extrapolation,
-    evaluate_extrapolation,
-    format_diagnostics,
-    known_entities_of,
-)
+from repro.eval import format_diagnostics, known_entities_of
 from repro.graph import build_hyperrelation_graph
 from repro.io import load_checkpoint, save_checkpoint
 from repro.obs import ProbeConfig, ReportError, RunReporter, read_events, summarize_run
@@ -108,7 +103,13 @@ def cmd_train(args: argparse.Namespace) -> int:
     probes = ProbeConfig(every_batches=args.probe_every) if args.probe_every else None
     trainer = Trainer(
         model,
-        TrainerConfig(epochs=args.epochs, patience=args.patience, seed=args.seed),
+        TrainerConfig(
+            epochs=args.epochs,
+            patience=args.patience,
+            seed=args.seed,
+            grad_shards=args.grad_shards,
+            train_workers=args.train_workers,
+        ),
         resilience=resilience,
         reporter=reporter,
         probes=probes,
@@ -159,6 +160,12 @@ def _load_eval_model(args: argparse.Namespace):
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.parallel import (
+        ShardedEvalError,
+        diagnose_extrapolation_sharded,
+        evaluate_extrapolation_sharded,
+    )
+
     dataset, model = _load_eval_model(args)
     if model is None:
         return 1
@@ -172,17 +179,25 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         if args.diagnostics:
             # The diagnostic decomposition runs the identical protocol
             # (same queries, pooled directions, observe-as-you-go), so
-            # it replaces — not repeats — the aggregate pass.
-            report = diagnose_extrapolation(
+            # it replaces — not repeats — the aggregate pass.  The
+            # sharded driver is bit-identical at every worker count, so
+            # workers=1 routes through the same code path.
+            report = diagnose_extrapolation_sharded(
                 target,
                 dataset.test,
                 known_entities=known_entities_of(dataset.train, dataset.valid),
+                workers=args.eval_workers,
                 reporter=reporter,
             )
             entity, relation = report.aggregate, report.relation_aggregate
         else:
-            result = evaluate_extrapolation(target, dataset.test)
+            result = evaluate_extrapolation_sharded(
+                target, dataset.test, workers=args.eval_workers, reporter=reporter
+            )
             entity, relation = result.entity, result.relation
+    except ShardedEvalError as exc:
+        print(f"sharded evaluation refused: {exc}", file=sys.stderr)
+        return 2
     finally:
         if reporter is not None:
             reporter.close()
@@ -195,17 +210,23 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
     """Per-relation / per-timestamp / seen-unseen evaluation diagnostics."""
+    from repro.parallel import ShardedEvalError, diagnose_extrapolation_sharded
+
     dataset, model = _load_eval_model(args)
     if model is None:
         return 1
     reporter = RunReporter(args.run_report) if args.run_report else None
     try:
-        report = diagnose_extrapolation(
+        report = diagnose_extrapolation_sharded(
             model,
             dataset.test,
             known_entities=known_entities_of(dataset.train, dataset.valid),
+            workers=args.eval_workers,
             reporter=reporter,
         )
+    except ShardedEvalError as exc:
+        print(f"sharded evaluation refused: {exc}", file=sys.stderr)
+        return 2
     finally:
         if reporter is not None:
             reporter.close()
@@ -221,6 +242,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         benchmark_decoder,
         benchmark_encoder,
+        benchmark_eval,
         component_key,
         detect_regression,
         make_entry,
@@ -232,11 +254,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
     component = args.component
     key = component_key(component)
     baseline_entries = read_history(args.history) if args.history else []
+    if component == "eval":
+        # A 1-worker and an 8-worker run are different timing series;
+        # the gate must only ever compare like with like.
+        baseline_entries = [
+            e for e in baseline_entries if e.get("workers") == args.eval_workers
+        ]
     results = []
     for repeat in range(args.repeats):
         if component == "decoder":
             result = benchmark_decoder(
                 args.dataset,
+                seed=args.seed,
+                dtype=args.dtype,
+                per_step_sleep=args.inject_sleep_ms / 1000.0,
+            )
+        elif component == "eval":
+            result = benchmark_eval(
+                args.dataset,
+                workers=args.eval_workers,
                 seed=args.seed,
                 dtype=args.dtype,
                 per_step_sleep=args.inject_sleep_ms / 1000.0,
@@ -266,13 +302,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     print(verdict)
     if args.history and not args.dry_run:
-        extra = (
-            {"injected_sleep": args.inject_sleep_ms / 1000.0}
-            if args.inject_sleep_ms
-            else None
-        )
         for result in results:
-            append_entry(args.history, make_entry(result, name=component, extra=extra))
+            extra = {}
+            if args.inject_sleep_ms:
+                extra["injected_sleep"] = args.inject_sleep_ms / 1000.0
+            if component == "eval":
+                extra["workers"] = result["workers"]
+                extra["cpus"] = result["cpus"]
+            append_entry(
+                args.history,
+                make_entry(result, name=component, extra=extra or None),
+            )
         entries = read_history(args.history)
         if args.summary:
             write_summary(args.summary, entries, name=component, window=args.window)
@@ -463,6 +503,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="emit gradient/embedding/gate probes every N batches (0: off)",
     )
+    train.add_argument(
+        "--grad-shards",
+        type=int,
+        default=0,
+        help="data-parallel gradient shards per snapshot; the shard plan "
+        "defines the math, so results are identical for every worker "
+        "count (0: serial single-loss path)",
+    )
+    train.add_argument(
+        "--train-workers",
+        type=int,
+        default=1,
+        help="threads executing the gradient shards (results do not "
+        "depend on this; requires --grad-shards > 0 to matter)",
+    )
     train.set_defaults(handler=cmd_train)
 
     evaluate = commands.add_parser("evaluate", help="evaluate a checkpoint")
@@ -485,6 +540,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-relation / per-timestamp decomposition",
     )
+    evaluate.add_argument(
+        "--eval-workers",
+        type=int,
+        default=1,
+        help="processes sharding the test timestamps (metrics are "
+        "bit-identical for every worker count)",
+    )
     evaluate.set_defaults(handler=cmd_evaluate)
 
     diagnose = commands.add_parser(
@@ -502,6 +564,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-report",
         help="also stream the decomposition as a JSONL diagnostic event here",
     )
+    diagnose.add_argument(
+        "--eval-workers",
+        type=int,
+        default=1,
+        help="processes sharding the test timestamps (the decomposition "
+        "is bit-identical for every worker count)",
+    )
     diagnose.set_defaults(handler=cmd_diagnose)
 
     bench = commands.add_parser(
@@ -510,9 +579,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_argument(bench)
     bench.add_argument(
         "--component",
-        choices=("encoder", "decoder"),
+        choices=("encoder", "decoder", "eval"),
         default="encoder",
-        help="which training-step component to time and gate on",
+        help="which component to time and gate on (eval: the full "
+        "sharded evaluation protocol at --eval-workers)",
+    )
+    bench.add_argument(
+        "--eval-workers",
+        type=int,
+        default=1,
+        help="worker count for --component eval; history gating only "
+        "compares entries recorded at the same worker count",
     )
     bench.add_argument(
         "--dtype",

@@ -167,9 +167,9 @@ class RETIA(Module):
         self._history[snapshot.time] = snapshot
         self._invalidate()
 
-    def history_before(self, time: int) -> List[Snapshot]:
-        """The last-k known snapshots strictly before ``time``."""
-        times = sorted(t for t in self._history if t < time)
+    def history_before(self, ts: int) -> List[Snapshot]:
+        """The last-k known snapshots strictly before ``ts``."""
+        times = sorted(t for t in self._history if t < ts)
         return [self._history[t] for t in times[-self.config.history_length :]]
 
     def _invalidate(self) -> None:
@@ -381,23 +381,23 @@ class RETIA(Module):
     # ------------------------------------------------------------------
     # ExtrapolationModel contract
     # ------------------------------------------------------------------
-    def _evolved_for(self, time: int):
+    def _evolved_for(self, ts: int):
         cache = self._predict_cache
-        if cache is not None and cache[0] == (time, self._version):
+        if cache is not None and cache[0] == (ts, self._version):
             return cache[1], cache[2]
-        history = self.history_before(time)
+        history = self.history_before(ts)
         was_training = self.training
         self.eval()
         with no_grad():
             entity_list, relation_list = self.evolve(history)
         if was_training:
             self.train()
-        self._predict_cache = ((time, self._version), entity_list, relation_list)
+        self._predict_cache = ((ts, self._version), entity_list, relation_list)
         return entity_list, relation_list
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         """Summed per-snapshot probabilities for all N entities."""
-        entity_list, relation_list = self._evolved_for(time)
+        entity_list, relation_list = self._evolved_for(ts)
         was_training = self.training
         self.eval()
         with no_grad(), self._dtype_policy:
@@ -406,9 +406,9 @@ class RETIA(Module):
             self.train()
         return self._sum_probs(probs)
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         """Summed per-snapshot probabilities for all M relations."""
-        entity_list, relation_list = self._evolved_for(time)
+        entity_list, relation_list = self._evolved_for(ts)
         was_training = self.training
         self.eval()
         with no_grad(), self._dtype_policy:

@@ -57,7 +57,7 @@ def community_static_graph(config: SyntheticTKGConfig) -> Snapshot:
         triples,
         num_entities=config.num_entities + config.num_communities,
         num_relations=1,
-        time=0,
+        ts=0,
     )
 
 

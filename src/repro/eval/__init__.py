@@ -20,8 +20,14 @@ from repro.eval.metrics import (
 )
 from repro.eval.filters import FilterIndex
 from repro.eval.interface import ExtrapolationModel
-from repro.eval.protocol import EvaluationResult, evaluate_extrapolation
+from repro.eval.protocol import (
+    EvaluationResult,
+    TimestampScores,
+    evaluate_extrapolation,
+    score_timestamp,
+)
 from repro.eval.diagnostics import (
+    DiagnosticsAccumulators,
     DiagnosticsReport,
     diagnose_extrapolation,
     format_diagnostics,
@@ -36,7 +42,10 @@ __all__ = [
     "FilterIndex",
     "ExtrapolationModel",
     "EvaluationResult",
+    "TimestampScores",
     "evaluate_extrapolation",
+    "score_timestamp",
+    "DiagnosticsAccumulators",
     "DiagnosticsReport",
     "diagnose_extrapolation",
     "format_diagnostics",

@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.eval.filters import FilterIndex
 from repro.eval.interface import ExtrapolationModel
-from repro.eval.metrics import RankAccumulator, ranks_from_scores
+from repro.eval.metrics import RankAccumulator
+from repro.eval.protocol import TimestampScores, score_timestamp
 from repro.graph import TemporalKG
 
 
@@ -93,11 +94,87 @@ def known_entities_of(*graphs: TemporalKG) -> Set[int]:
     """Entity ids appearing as subject or object anywhere in ``graphs``."""
     known: Set[int] = set()
     for graph in graphs:
-        for time in graph.timestamps:
-            triples = graph.snapshot(int(time)).triples
+        for ts in graph.timestamps:
+            triples = graph.snapshot(int(ts)).triples
             if len(triples):
                 known.update(np.unique(triples[:, [0, 2]]).tolist())
     return known
+
+
+class DiagnosticsAccumulators:
+    """The mutable accumulator state behind :func:`diagnose_extrapolation`.
+
+    One :meth:`update` per scored timestamp, **in chronological order**,
+    reproduces the serial accumulation float-for-float — which is
+    exactly how :func:`repro.parallel.eval.diagnose_extrapolation_sharded`
+    replays worker-scored timestamps into a bit-identical report.
+    """
+
+    def __init__(self, known_entities: Optional[Set[int]], num_entities: int):
+        self.total = _bounded()
+        self.by_relation: Dict[int, RankAccumulator] = {}
+        self.by_timestamp: Dict[int, RankAccumulator] = {}
+        self.seen_acc = _bounded()
+        self.unseen_acc = _bounded()
+        self.relation_acc = _bounded()
+        self.known_array: Optional[np.ndarray] = None
+        if known_entities is not None:
+            self.known_array = np.zeros(num_entities, dtype=bool)
+            self.known_array[
+                np.fromiter(known_entities, dtype=np.int64, count=len(known_entities))
+            ] = True
+
+    def update(self, scored: TimestampScores) -> None:
+        """Fold one timestamp's ranks into every diagnostic axis."""
+        ranks = scored.entity_ranks
+        self.total.update(ranks)
+        self.by_timestamp.setdefault(scored.ts, _bounded()).update(ranks)
+        for rid in np.unique(scored.base_relations):
+            self.by_relation.setdefault(int(rid), _bounded()).update(
+                ranks[scored.base_relations == rid]
+            )
+        if self.known_array is not None:
+            seen_mask = self.known_array[scored.targets]
+            self.seen_acc.update(ranks[seen_mask])
+            self.unseen_acc.update(ranks[~seen_mask])
+        if scored.relation_ranks is not None:
+            self.relation_acc.update(scored.relation_ranks)
+
+    def report(self, setting: str, evaluate_relations: bool) -> DiagnosticsReport:
+        """Freeze the accumulated state into a report."""
+        return DiagnosticsReport(
+            setting=setting,
+            aggregate=self.total.summary(),
+            per_relation={
+                rid: acc.summary() for rid, acc in sorted(self.by_relation.items())
+            },
+            per_timestamp={
+                t: acc.summary() for t, acc in sorted(self.by_timestamp.items())
+            },
+            seen=self.seen_acc.summary() if self.known_array is not None else {},
+            unseen=self.unseen_acc.summary() if self.known_array is not None else {},
+            rank_histogram=self.total.histogram(),
+            relation_aggregate=self.relation_acc.summary() if evaluate_relations else {},
+        )
+
+
+def _bounded() -> RankAccumulator:
+    return RankAccumulator(bounded=True)
+
+
+def emit_diagnostic_event(reporter, report: DiagnosticsReport) -> None:
+    """One schema-validated ``diagnostic`` event for ``report``."""
+    reporter.emit(
+        "diagnostic",
+        task="entity",
+        setting=report.setting,
+        aggregate=report.aggregate,
+        relations={str(k): v for k, v in report.per_relation.items()},
+        timestamps={str(k): v for k, v in report.per_timestamp.items()},
+        seen=report.seen,
+        unseen=report.unseen,
+        relation_aggregate=report.relation_aggregate,
+    )
 
 
 def diagnose_extrapolation(
@@ -124,80 +201,28 @@ def diagnose_extrapolation(
     if setting != "raw" and filter_index is None:
         raise ValueError("filtered settings need a FilterIndex over the full graph")
 
-    num_relations = test_graph.num_relations
+    accumulators = DiagnosticsAccumulators(known_entities, test_graph.num_entities)
 
-    def bounded() -> RankAccumulator:
-        return RankAccumulator(bounded=True)
-
-    total = bounded()
-    by_relation: Dict[int, RankAccumulator] = {}
-    by_timestamp: Dict[int, RankAccumulator] = {}
-    seen_acc = bounded()
-    unseen_acc = bounded()
-    relation_acc = bounded()
-    known_array: Optional[np.ndarray] = None
-    if known_entities is not None:
-        known_array = np.zeros(test_graph.num_entities, dtype=bool)
-        known_array[np.fromiter(known_entities, dtype=np.int64, count=len(known_entities))] = True
-
-    for time in test_graph.timestamps:
-        time = int(time)
-        snapshot = test_graph.snapshot(time)
-        triples = snapshot.triples
-        if not len(triples):
-            continue
-        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
-
-        queries = np.concatenate(
-            [np.stack([s, r], axis=1), np.stack([o, r + num_relations], axis=1)]
+    for ts in test_graph.timestamps:
+        snapshot = test_graph.snapshot(int(ts))
+        scored = score_timestamp(
+            model,
+            snapshot,
+            test_graph.num_relations,
+            setting=setting,
+            filter_index=filter_index,
+            evaluate_relations=evaluate_relations,
+            dedup=False,
         )
-        targets = np.concatenate([o, s])
-        scores = model.predict_entities(queries, time)
-        mask = None if setting == "raw" else filter_index.mask(queries, time, setting)
-        ranks = ranks_from_scores(scores, targets, mask)
-
-        total.update(ranks)
-        by_timestamp.setdefault(time, bounded()).update(ranks)
-        base_relations = np.concatenate([r, r])  # both directions share the base id
-        for rid in np.unique(base_relations):
-            by_relation.setdefault(int(rid), bounded()).update(
-                ranks[base_relations == rid]
-            )
-        if known_array is not None:
-            seen_mask = known_array[targets]
-            seen_acc.update(ranks[seen_mask])
-            unseen_acc.update(ranks[~seen_mask])
-
-        if evaluate_relations:
-            pairs = np.stack([s, o], axis=1)
-            rel_scores = model.predict_relations(pairs, time)
-            relation_acc.update(ranks_from_scores(rel_scores, r))
-
+        if scored is None:
+            continue
+        accumulators.update(scored)
         if observe:
             model.observe(snapshot)
 
-    report = DiagnosticsReport(
-        setting=setting,
-        aggregate=total.summary(),
-        per_relation={rid: acc.summary() for rid, acc in sorted(by_relation.items())},
-        per_timestamp={t: acc.summary() for t, acc in sorted(by_timestamp.items())},
-        seen=seen_acc.summary() if known_array is not None else {},
-        unseen=unseen_acc.summary() if known_array is not None else {},
-        rank_histogram=total.histogram(),
-        relation_aggregate=relation_acc.summary() if evaluate_relations else {},
-    )
+    report = accumulators.report(setting, evaluate_relations)
     if reporter is not None:
-        reporter.emit(
-            "diagnostic",
-            task="entity",
-            setting=setting,
-            aggregate=report.aggregate,
-            relations={str(k): v for k, v in report.per_relation.items()},
-            timestamps={str(k): v for k, v in report.per_timestamp.items()},
-            seen=report.seen,
-            unseen=report.unseen,
-            relation_aggregate=report.relation_aggregate,
-        )
+        emit_diagnostic_event(reporter, report)
     return report
 
 

@@ -36,7 +36,7 @@ class FilterIndex:
             self._static[(int(o), inv)].add(int(s))
             self._temporal[(int(o), inv, int(t))].add(int(s))
 
-    def mask(self, queries: np.ndarray, time: int, setting: str) -> np.ndarray | None:
+    def mask(self, queries: np.ndarray, ts: int, setting: str) -> np.ndarray | None:
         """Boolean ``(B, N)`` exclusion mask for entity queries ``(s, r)``.
 
         Returns ``None`` for the raw setting (nothing excluded).
@@ -51,7 +51,7 @@ class FilterIndex:
             if setting == "static":
                 known = self._static.get((int(s), int(r)), ())
             else:
-                known = self._temporal.get((int(s), int(r), int(time)), ())
+                known = self._temporal.get((int(s), int(r), int(ts)), ())
             for o in known:
                 mask[i, o] = True
         return mask

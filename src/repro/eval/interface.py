@@ -23,14 +23,14 @@ class ExtrapolationModel(Protocol):
     ``(?, r, o)`` arrives as ``(o, r + M)``.
     """
 
-    def predict_entities(self, queries: np.ndarray, time: int) -> np.ndarray:
+    def predict_entities(self, queries: np.ndarray, ts: int) -> np.ndarray:
         """Score all N entities for each ``(subject, relation)`` query row.
 
         Returns ``(B, N)``; higher is better.
         """
         ...
 
-    def predict_relations(self, pairs: np.ndarray, time: int) -> np.ndarray:
+    def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         """Score all M relations for each ``(subject, object)`` pair row.
 
         Returns ``(B, M)``; higher is better.

@@ -10,7 +10,7 @@ import numpy as np
 from repro.eval.filters import FilterIndex
 from repro.eval.interface import ExtrapolationModel
 from repro.eval.metrics import RankAccumulator, ranks_from_scores
-from repro.graph import TemporalKG
+from repro.graph import Snapshot, TemporalKG
 
 
 @dataclass
@@ -23,6 +23,94 @@ class EvaluationResult:
     def row(self, metrics=("MRR", "Hits@1", "Hits@3", "Hits@10")) -> Dict[str, float]:
         """Flat entity-metric row (Table III/IV shape)."""
         return {m: self.entity.get(m, float("nan")) for m in metrics}
+
+
+@dataclass
+class TimestampScores:
+    """Everything one scored timestamp contributes to the metrics.
+
+    Rank arrays are tiny compared to the score matrices they came from,
+    so this is also the unit shipped back from evaluation workers
+    (:mod:`repro.parallel.eval`); the grouping keys (``targets`` for the
+    seen/unseen split, ``base_relations`` for the per-relation split)
+    let the diagnostics decomposition replay its accumulator updates
+    without re-scoring.
+    """
+
+    ts: int
+    entity_ranks: np.ndarray
+    relation_ranks: Optional[np.ndarray]
+    targets: np.ndarray
+    base_relations: np.ndarray
+
+
+def score_timestamp(
+    model: ExtrapolationModel,
+    snapshot: Snapshot,
+    num_relations: int,
+    setting: str = "raw",
+    filter_index: Optional[FilterIndex] = None,
+    evaluate_relations: bool = True,
+    dedup: bool = True,
+) -> Optional[TimestampScores]:
+    """Score one test timestamp exactly as the protocol prescribes.
+
+    Entity queries cover both directions — object queries ``(s, r, ?)``
+    and subject queries ``(?, r, o)`` expressed as ``(o, r + M, ?)`` —
+    and the relation task ranks ``(s, ?, o)`` among the M true
+    relations.  ``dedup=True`` scores each distinct query once and
+    scatters the rows back (the :func:`evaluate_extrapolation`
+    convention); ``dedup=False`` scores every row directly (the
+    diagnostics convention).  The two produce equal score *values* but
+    feed differently-shaped batches to the model, so bit-exact
+    equivalence claims must hold the flag fixed.
+
+    Returns ``None`` for an empty timestamp (nothing to rank).
+    """
+    triples = snapshot.triples
+    if not len(triples):
+        return None
+    ts = int(snapshot.time)
+    s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
+
+    queries = np.concatenate(
+        [np.stack([s, r], axis=1), np.stack([o, r + num_relations], axis=1)]
+    )
+    targets = np.concatenate([o, s])
+    if dedup:
+        # A (subject, relation) pair with several true objects appears
+        # once per object; the model scores depend only on the pair, so
+        # score each distinct query once and scatter the rows back.
+        unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
+        # return_inverse shape for axis-unique varies across numpy 2.x.
+        scores = model.predict_entities(unique_queries, ts)[inverse.ravel()]
+    else:
+        scores = model.predict_entities(queries, ts)
+    # Raw ranking never uses a mask, so skip building one even when a
+    # FilterIndex was supplied.
+    if setting == "raw":
+        mask = None
+    else:
+        mask = filter_index.mask(queries, ts, setting)
+    entity_ranks = ranks_from_scores(scores, targets, mask)
+
+    relation_ranks = None
+    if evaluate_relations:
+        pairs = np.stack([s, o], axis=1)
+        if dedup:
+            unique_pairs, pair_inverse = np.unique(pairs, axis=0, return_inverse=True)
+            rel_scores = model.predict_relations(unique_pairs, ts)[pair_inverse.ravel()]
+        else:
+            rel_scores = model.predict_relations(pairs, ts)
+        relation_ranks = ranks_from_scores(rel_scores, r)
+
+    return TimestampScores(
+        ts=ts,
+        entity_ranks=entity_ranks,
+        relation_ranks=relation_ranks,
+        targets=targets,
+        base_relations=np.concatenate([r, r]),  # both directions share the base id
+    )
 
 
 def evaluate_extrapolation(
@@ -60,43 +148,21 @@ def evaluate_extrapolation(
     entity_acc = RankAccumulator()
     relation_acc = RankAccumulator()
 
-    for time in test_graph.timestamps:
-        snapshot = test_graph.snapshot(int(time))
-        triples = snapshot.triples
-        if not len(triples):
-            continue
-        s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
-
-        # Entity task: object queries (s, r, ?) and subject queries
-        # (?, r, o) expressed as (o, r + M, ?). Mean of both directions.
-        queries = np.concatenate(
-            [np.stack([s, r], axis=1), np.stack([o, r + num_relations], axis=1)]
+    for ts in test_graph.timestamps:
+        snapshot = test_graph.snapshot(int(ts))
+        scored = score_timestamp(
+            model,
+            snapshot,
+            num_relations,
+            setting=setting,
+            filter_index=filter_index,
+            evaluate_relations=evaluate_relations,
         )
-        targets = np.concatenate([o, s])
-        # A (subject, relation) pair with several true objects appears
-        # once per object; the model scores depend only on the pair, so
-        # score each distinct query once and scatter the rows back.
-        unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
-        # return_inverse shape for axis-unique varies across numpy 2.x.
-        scores = model.predict_entities(unique_queries, int(time))[inverse.ravel()]
-        # Raw ranking never uses a mask, so skip building one even when a
-        # FilterIndex was supplied.
-        if setting == "raw":
-            mask = None
-        else:
-            mask = filter_index.mask(queries, int(time), setting)
-        entity_acc.update(ranks_from_scores(scores, targets, mask))
-
-        # Relation task: (s, ?, o) ranked among the M true relations.
-        if evaluate_relations:
-            pairs = np.stack([s, o], axis=1)
-            unique_pairs, pair_inverse = np.unique(pairs, axis=0, return_inverse=True)
-            rel_scores = model.predict_relations(unique_pairs, int(time))[
-                pair_inverse.ravel()
-            ]
-            relation_acc.update(ranks_from_scores(rel_scores, r))
-
-        if observe:
+        if scored is not None:
+            entity_acc.update(scored.entity_ranks)
+            if scored.relation_ranks is not None:
+                relation_acc.update(scored.relation_ranks)
+        if observe and len(snapshot.triples):
             model.observe(snapshot)
 
     return EvaluationResult(entity=entity_acc.summary(), relation=relation_acc.summary())

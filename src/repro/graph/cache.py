@@ -17,6 +17,7 @@ invalidated per timestamp explicitly.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
@@ -85,6 +86,16 @@ class SnapshotArtifacts:
 class SnapshotCache:
     """Bounded LRU cache of :class:`SnapshotArtifacts` per snapshot.
 
+    Thread-safe: all LRU-dict mutation (lookups move entries, inserts
+    evict) happens under one internal lock, matching
+    :class:`~repro.obs.MetricsRegistry`'s discipline, so data-parallel
+    worker threads sharing a model replica cannot corrupt the
+    ``OrderedDict``.  **One cache per process**: the lock does not (and
+    cannot) span processes, so process-pool workers must each own their
+    model replica and its cache — never a cache reached through shared
+    memory.  Pickling/deepcopy (which is how replicas are made) drops
+    the lock and recreates a fresh one in the copy.
+
     Parameters
     ----------
     max_entries:
@@ -102,9 +113,21 @@ class SnapshotCache:
         )
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def __getstate__(self) -> dict:
+        # Locks neither pickle nor deepcopy; each copy gets its own.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @staticmethod
     def _key(snapshot: Snapshot) -> Tuple[int, int, bytes]:
@@ -116,39 +139,50 @@ class SnapshotCache:
     def artifacts(self, snapshot: Snapshot) -> SnapshotArtifacts:
         """The cached (or freshly built) artifacts for ``snapshot``."""
         if self.max_entries == 0:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return SnapshotArtifacts.build(snapshot)
         key = self._key(snapshot)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+        # Build outside the lock: artifacts are a pure function of the
+        # snapshot, so a racing duplicate build wastes work but cannot
+        # produce divergent entries; first insert wins.
         entry = SnapshotArtifacts.build(snapshot)
-        self._entries[key] = entry
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
         return entry
 
     def hyper(self, snapshot: Snapshot) -> HyperSnapshot:
         """The memoized Algorithm 1 hypergraph for ``snapshot``."""
         return self.artifacts(snapshot).hyper
 
-    def invalidate_time(self, time: int) -> int:
-        """Drop every entry recorded for timestamp ``time``.
+    def invalidate_time(self, ts: int) -> int:
+        """Drop every entry recorded for timestamp ``ts``.
 
         Called when a snapshot is (re-)recorded so a replaced timestamp
         cannot serve stale structure.  Returns the number of entries
         dropped.
         """
-        stale = [key for key in self._entries if key[0] == time]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == ts]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

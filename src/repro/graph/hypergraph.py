@@ -49,10 +49,10 @@ class HyperSnapshot:
         Number of relation nodes, i.e. ``2M``.
     """
 
-    def __init__(self, edges: np.ndarray, num_relation_nodes: int, time: int):
+    def __init__(self, edges: np.ndarray, num_relation_nodes: int, ts: int):
         self.edges = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
         self.num_relation_nodes = int(num_relation_nodes)
-        self.time = int(time)
+        self.time = int(ts)
 
     def __len__(self) -> int:
         return len(self.edges)
@@ -166,4 +166,4 @@ def build_hyperrelation_graph(snapshot: Snapshot) -> HyperSnapshot:
         edges = np.concatenate(blocks, axis=0)
     else:
         edges = np.zeros((0, 3), dtype=np.int64)
-    return HyperSnapshot(edges, num_relation_nodes=num_rel, time=snapshot.time)
+    return HyperSnapshot(edges, num_relation_nodes=num_rel, ts=snapshot.time)

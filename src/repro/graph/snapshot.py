@@ -17,12 +17,12 @@ class Snapshot:
     properties.
     """
 
-    def __init__(self, triples: np.ndarray, num_entities: int, num_relations: int, time: int):
+    def __init__(self, triples: np.ndarray, num_entities: int, num_relations: int, ts: int):
         triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
         self.triples = triples
         self.num_entities = int(num_entities)
         self.num_relations = int(num_relations)
-        self.time = int(time)
+        self.time = int(ts)
         if len(triples):
             if triples[:, [0, 2]].max() >= num_entities or triples.min() < 0:
                 raise ValueError("entity id out of range")

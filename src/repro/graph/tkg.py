@@ -78,10 +78,10 @@ class TemporalKG:
     # ------------------------------------------------------------------
     # Snapshot access
     # ------------------------------------------------------------------
-    def snapshot(self, time: int) -> Snapshot:
+    def snapshot(self, ts: int) -> Snapshot:
         """The subgraph ``G_t`` (possibly empty) at timestamp ``time``."""
-        mask = self.facts[:, 3] == time
-        return Snapshot(self.facts[mask][:, :3], self.num_entities, self.num_relations, time)
+        mask = self.facts[:, 3] == ts
+        return Snapshot(self.facts[mask][:, :3], self.num_entities, self.num_relations, ts)
 
     def snapshots(self, times: Optional[Iterable[int]] = None) -> List[Snapshot]:
         """Snapshots for ``times`` (default: every timestamp present)."""
@@ -89,14 +89,14 @@ class TemporalKG:
             times = self.timestamps
         return [self.snapshot(int(t)) for t in times]
 
-    def history(self, time: int, k: int) -> List[Snapshot]:
-        """The ``k``-length history ``[G_{time-k} .. G_{time-1}]``.
+    def history(self, ts: int, k: int) -> List[Snapshot]:
+        """The ``k``-length history ``[G_{ts-k} .. G_{ts-1}]``.
 
         Timestamps before 0 are skipped, so the returned list can be
         shorter than ``k`` near the start of the data.
         """
-        start = max(0, time - k)
-        return [self.snapshot(t) for t in range(start, time)]
+        start = max(0, ts - k)
+        return [self.snapshot(t) for t in range(start, ts)]
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -1,0 +1,253 @@
+"""Deterministic data-parallel training: fixed-order gradient reduction.
+
+The paper trains with one timestamp per batch; within a batch the joint
+loss is a mean over query rows, so the batch is shardable: split the
+snapshot's triples into ``grad_shards`` contiguous sub-snapshots, let
+each shard compute its own forward/backward on a model replica, and
+recombine
+
+``grad = Σ_i (n_i / N) · grad_i``  and  ``loss = Σ_i (n_i / N) · loss_i``
+
+which reproduces the whole-batch mean exactly in real arithmetic
+(entity loss: shard ``i`` contributes ``2·n_i`` of the ``2·N`` query
+rows; relation loss ``n_i`` of ``N``; the joint loss is linear in
+both).
+
+Float arithmetic is not associative, so determinism is engineered, not
+assumed — the rule from :mod:`repro.parallel.plan` applies: **the math
+is defined by the plan (** ``grad_shards`` **), never by the execution
+(** ``train_workers`` **)**:
+
+* the shard split depends only on ``(N, grad_shards)``
+  (:func:`~repro.parallel.plan.shard_bounds`);
+* each shard's RNG streams are derived statelessly from
+  ``(seed, global_batch, shard_index)``
+  (:func:`~repro.parallel.plan.reseed_generators`) — never consumed
+  from a shared generator, so they are identical whether one worker or
+  eight computed the shard, and a resumed run (which replays
+  ``global_batch``) regenerates them exactly;
+* per-shard gradients and losses are collected *into shard-index
+  order* and summed with the fixed pairwise bracketing of
+  :func:`~repro.parallel.plan.tree_reduce` — completion order is
+  irrelevant.
+
+Consequently losses, Adam moments and ``RETIA.fingerprint()`` are
+bit-identical across ``train_workers`` ∈ {1, 2, 4, 8} at fixed
+``grad_shards``, including across a kill-and-resume drill.  The
+``grad_shards=1`` plan is *not* bitwise-identical to the serial
+(``grad_shards=0``) path — the RNG discipline differs (per-batch
+derived streams vs. one persistent stream) — which is why the shard
+count is an explicit, checkpointed knob rather than something inferred
+from the worker count.
+
+Workers are threads: the autograd tape and dtype-policy stacks are
+thread-local (``repro.nn``), each replica is confined to one slot
+(``slot = shard_index % workers``, fixed), and NumPy's BLAS releases
+the GIL on the matmuls that dominate the step.  Replicas are deep
+copies whose parameters are re-synced from the master before every
+batch, so guard rollbacks and LR backoff on the master need no special
+handling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import Snapshot
+from repro.parallel.plan import reseed_generators, shard_bounds, tree_reduce, tree_reduce_arrays
+
+
+class ShardedLoss:
+    """A reduced loss value with the small surface the trainer needs.
+
+    Quacks like a scalar tensor (``item()`` plus a mutable ``data``
+    array so :meth:`~repro.resilience.FaultInjector.poison_loss` can
+    poison it) but carries no autograd graph — gradients were already
+    reduced into the master parameters, so the sentinel applies them
+    via :meth:`~repro.resilience.NonFiniteGuard.guarded_apply` instead
+    of ``backward``.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, value: float, dtype: np.dtype):
+        self.data = np.asarray(value, dtype=dtype)
+
+    def item(self) -> float:
+        return float(self.data)
+
+
+class GradShardExecutor:
+    """Compute one batch's gradients over shards, reduced in fixed order.
+
+    ``compute`` leaves the reduced gradients on the master model's
+    parameters (``p.grad``) and returns the reduced
+    ``(joint, entity, relation)`` losses; the caller applies them with
+    ``NonFiniteGuard.guarded_apply``.  Telemetry for each worker slot
+    accumulates until :meth:`drain_telemetry`.
+    """
+
+    def __init__(self, model, grad_shards: int, workers: int = 1, base_seed: int = 0):
+        if grad_shards < 1:
+            raise ValueError("grad_shards must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        import copy
+
+        self.model = model
+        self.grad_shards = grad_shards
+        self.workers = min(workers, grad_shards)
+        self.base_seed = base_seed
+        self._params = model.parameters()
+        # One confined replica per worker slot; slot 0 reuses the master
+        # when it is the only slot (no copy, no sync cost).
+        self._replicas = (
+            [model]
+            if self.workers == 1 and grad_shards == 1
+            else [copy.deepcopy(model) for _ in range(self.workers)]
+        )
+        self._replica_params = [replica.parameters() for replica in self._replicas]
+        self._telemetry: List[dict] = [
+            {"worker": slot, "shards": 0, "seconds": 0.0, "batches": 0}
+            for slot in range(self.workers)
+        ]
+
+    # ------------------------------------------------------------------
+    def _sync_replicas(self) -> None:
+        """Copy master parameters into every replica (cheap memcpy)."""
+        for replica, params in zip(self._replicas, self._replica_params):
+            if replica is self.model:
+                continue
+            for master_p, replica_p in zip(self._params, params):
+                np.copyto(replica_p.data, master_p.data)
+            replica.mark_updated()
+
+    def _shard_snapshots(self, snapshot: Snapshot) -> List[Tuple[int, Snapshot]]:
+        """``(shard_index, sub-snapshot)`` for every non-empty shard."""
+        triples = snapshot.triples
+        shards = []
+        for index, (a, b) in enumerate(shard_bounds(len(triples), self.grad_shards)):
+            if b > a:
+                shards.append(
+                    (
+                        index,
+                        Snapshot(
+                            triples[a:b],
+                            snapshot.num_entities,
+                            snapshot.num_relations,
+                            snapshot.time,
+                        ),
+                    )
+                )
+        return shards
+
+    def _run_shard(
+        self, slot: int, shard_index: int, sub: Snapshot, global_batch: int
+    ) -> Tuple[float, float, float, List[Optional[np.ndarray]]]:
+        """Forward/backward one shard on its slot's replica."""
+        replica = self._replicas[slot]
+        params = self._replica_params[slot]
+        reseed_generators(
+            replica._rng_generators(), self.base_seed, global_batch, shard_index
+        )
+        replica.train()
+        for p in params:
+            p.grad = None
+        joint, loss_e, loss_r = replica.loss_on_snapshot(sub)
+        joint.backward()
+        grads = [None if p.grad is None else p.grad for p in params]
+        return joint.item(), loss_e.item(), loss_r.item(), grads
+
+    # ------------------------------------------------------------------
+    def compute(
+        self, snapshot: Snapshot, global_batch: int
+    ) -> Tuple[ShardedLoss, ShardedLoss, ShardedLoss]:
+        """Gradients and losses for one batch, reduced in shard order.
+
+        Bit-deterministic in ``(parameters, snapshot, global_batch,
+        grad_shards, base_seed)`` — the worker count changes only who
+        computes each shard.
+        """
+        shards = self._shard_snapshots(snapshot)
+        if not shards:
+            raise ValueError("compute() needs a non-empty snapshot")
+        total = float(len(snapshot.triples))
+        self._sync_replicas()
+
+        results: List[Optional[tuple]] = [None] * len(shards)
+        errors: List[Optional[BaseException]] = [None] * self.workers
+
+        def run_slot(slot: int) -> None:
+            start = time.perf_counter()
+            done = 0
+            try:
+                for position in range(slot, len(shards), self.workers):
+                    shard_index, sub = shards[position]
+                    results[position] = self._run_shard(
+                        slot, shard_index, sub, global_batch
+                    )
+                    done += 1
+            except BaseException as exc:  # surfaced after join
+                errors[slot] = exc
+            finally:
+                stats = self._telemetry[slot]
+                stats["shards"] += done
+                stats["seconds"] += time.perf_counter() - start
+                stats["batches"] += 1
+
+        if self.workers == 1:
+            run_slot(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=run_slot, args=(slot,), name=f"grad-shard-{slot}"
+                )
+                for slot in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+
+        # Reduction: operands in shard-index order, fixed tree bracketing.
+        weights = [len(sub.triples) / total for _, sub in shards]
+        joint = tree_reduce(
+            [w * r[0] for w, r in zip(weights, results)], lambda a, b: a + b
+        )
+        entity = tree_reduce(
+            [w * r[1] for w, r in zip(weights, results)], lambda a, b: a + b
+        )
+        relation = tree_reduce(
+            [w * r[2] for w, r in zip(weights, results)], lambda a, b: a + b
+        )
+        for j, master_p in enumerate(self._params):
+            master_p.grad = tree_reduce_arrays(
+                [
+                    None if r[3][j] is None else w * r[3][j]
+                    for w, r in zip(weights, results)
+                ]
+            )
+
+        dtype = self._params[0].data.dtype
+        return (
+            ShardedLoss(joint, dtype),
+            ShardedLoss(entity, dtype),
+            ShardedLoss(relation, dtype),
+        )
+
+    # ------------------------------------------------------------------
+    def drain_telemetry(self) -> List[dict]:
+        """Per-slot stats accumulated since the last drain."""
+        drained = [dict(stats) for stats in self._telemetry]
+        self._telemetry = [
+            {"worker": slot, "shards": 0, "seconds": 0.0, "batches": 0}
+            for slot in range(self.workers)
+        ]
+        return drained

@@ -8,14 +8,23 @@ batch boundaries, writes a final checkpoint and raises
 queue me" apart from a real failure.
 
 Signal handlers can only be installed from the main thread; elsewhere
-(e.g. a worker thread running tests) the context manager degrades to an
-inert flag that never triggers.
+(e.g. a worker thread running tests, or a process-pool evaluation
+worker) the context manager degrades to an inert flag that never
+triggers, with a warning so the degradation is visible.
+
+A *second* signal of the same kind escalates: the previous handlers are
+restored immediately and the signal is re-raised against them, so a
+user whose first Ctrl-C appears swallowed (mid-batch, before the poll)
+can still kill the run the default way.  The previous handlers are
+always restored on ``__exit__``, so nested/sequential uses chain
+correctly.
 """
 
 from __future__ import annotations
 
 import signal
 import threading
+import warnings
 from typing import Optional
 
 #: sysexits.h EX_TEMPFAIL — the run was interrupted but is resumable.
@@ -39,33 +48,63 @@ class TrainingInterrupted(RuntimeError):
 
 
 class GracefulInterrupt:
-    """Context manager turning SIGINT/SIGTERM into a pollable flag."""
+    """Context manager turning SIGINT/SIGTERM into a pollable flag.
+
+    First signal: set :attr:`triggered` and return (the training loop
+    checkpoints at the next batch boundary).  Second signal of the same
+    kind: restore the previous handlers and re-raise, so the default
+    behaviour (usually immediate termination) takes over.
+    """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.triggered = False
         self.signal_number: Optional[int] = None
         self._previous = {}
+        self._active = False
 
     def _handler(self, signum, frame) -> None:
+        if self.triggered:
+            # Escalate: put the previous handlers back and re-deliver the
+            # signal to them — a second Ctrl-C must not be swallowed.
+            self._restore()
+            signal.raise_signal(signum)
+            return
         self.triggered = True
         self.signal_number = signum
 
     def __enter__(self) -> "GracefulInterrupt":
+        if self._active:
+            raise RuntimeError("GracefulInterrupt context is not re-entrant")
         self.triggered = False
         self.signal_number = None
-        if self.enabled and threading.current_thread() is threading.main_thread():
-            for sig in _SIGNALS:
-                try:
-                    self._previous[sig] = signal.signal(sig, self._handler)
-                except (ValueError, OSError):
-                    pass
+        if self.enabled:
+            if threading.current_thread() is threading.main_thread():
+                for sig in _SIGNALS:
+                    try:
+                        self._previous[sig] = signal.signal(sig, self._handler)
+                    except (ValueError, OSError):
+                        pass
+            else:
+                # Worker threads/processes cannot install handlers; stay
+                # inert rather than crash, but say so.
+                warnings.warn(
+                    "GracefulInterrupt used off the main thread: signal "
+                    "handlers not installed, interrupts will not be caught",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        self._active = True
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def _restore(self) -> None:
         for sig, previous in self._previous.items():
             try:
                 signal.signal(sig, previous)
             except (ValueError, OSError):
                 pass
         self._previous.clear()
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+        self._active = False

@@ -84,6 +84,14 @@ class RunState:
     # were all float64), so the schema version stays at 1.
     dtype: str = "float64"
 
+    # Gradient-shard plan of the run that produced this state (0 = the
+    # serial path).  The shard plan defines the math — resuming under a
+    # different plan would not be bit-exact — so it travels with the
+    # checkpoint and mismatches are rejected on restore.  Optional in
+    # the meta blob (absent in pre-parallel archives, which were all
+    # serial), so the schema version stays at 1.
+    grad_shards: int = 0
+
     status: str = STATUS_RUNNING
     version: int = RUNSTATE_VERSION
 
@@ -129,6 +137,7 @@ class RunState:
             "trainer_rng_state": self.trainer_rng_state,
             "model_rng_states": self.model_rng_states,
             "dtype": self.dtype,
+            "grad_shards": self.grad_shards,
         }
         payload[_META_KEY] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -194,6 +203,7 @@ class RunState:
             trainer_rng_state=meta.get("trainer_rng_state"),
             model_rng_states=list(meta.get("model_rng_states", [])),
             dtype=str(meta.get("dtype", "float64")),
+            grad_shards=int(meta.get("grad_shards", 0)),
             status=str(meta.get("status", STATUS_RUNNING)),
             version=int(version),
         )

@@ -57,7 +57,7 @@ class TestHistoryFrequency:
         # The most frequent object for a (s, r) seen in training should
         # be ranked first among entities.
         s, r, o, _ = train.facts[0]
-        scores = model.predict_entities(np.array([[s, r]]), time=99)
+        scores = model.predict_entities(np.array([[s, r]]), ts=99)
         assert scores[0, o] > 0
 
     def test_observe_updates_counts(self):

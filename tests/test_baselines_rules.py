@@ -45,79 +45,79 @@ class TestTLogicMining:
     def test_prediction_follows_rule(self):
         model = TLogicRules(N, M, max_lag=2, min_support=2).fit(chain_graph())
         # (0, r0, 1) happened at t=8, so rule fires for (0, r1, ?) at t=9.
-        scores = model.predict_entities(np.array([[0, 1]]), time=9)
+        scores = model.predict_entities(np.array([[0, 1]]), ts=9)
         assert np.argmax(scores[0]) == 1
 
     def test_no_rule_no_score(self):
         model = TLogicRules(N, M, max_lag=2, min_support=2).fit(chain_graph())
-        scores = model.predict_entities(np.array([[5, 1]]), time=9)
+        scores = model.predict_entities(np.array([[5, 1]]), ts=9)
         np.testing.assert_array_equal(scores[0], np.zeros(N))
 
     def test_relation_prediction(self):
         model = TLogicRules(N, M, max_lag=2, min_support=2).fit(chain_graph())
-        scores = model.predict_relations(np.array([[0, 1]]), time=9)
+        scores = model.predict_relations(np.array([[0, 1]]), ts=9)
         assert np.argmax(scores[0]) == 1
 
     def test_observe_extends_index(self):
         model = TLogicRules(N, M, max_lag=2, min_support=2).fit(chain_graph())
-        model.observe(Snapshot(np.array([[0, 0, 1]]), N, M, time=20))
-        scores = model.predict_entities(np.array([[0, 1]]), time=21)
+        model.observe(Snapshot(np.array([[0, 0, 1]]), N, M, ts=20))
+        scores = model.predict_entities(np.array([[0, 1]]), ts=21)
         assert scores[0, 1] > 0
 
 
 class TestTITerPaths:
     def test_one_hop_reaches_neighbors(self):
         model = TITerPaths(N, M, window=2, max_hops=1).fit(chain_graph())
-        scores = model.predict_entities(np.array([[0, 0]]), time=9)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=9)
         assert scores[0, 1] > 0
 
     def test_relation_match_bonus(self):
         model = TITerPaths(N, M, window=2, max_hops=1, relation_bonus=5.0).fit(chain_graph())
-        with_match = model.predict_entities(np.array([[0, 1]]), time=9)[0, 1]
-        no_match = model.predict_entities(np.array([[0, 2]]), time=9)[0, 1]
+        with_match = model.predict_entities(np.array([[0, 1]]), ts=9)[0, 1]
+        no_match = model.predict_entities(np.array([[0, 2]]), ts=9)[0, 1]
         assert with_match > no_match
 
     def test_two_hops_propagate(self):
         facts = [(0, 0, 1, 0), (1, 0, 2, 0)]
         graph = TemporalKG(facts, N, M)
         model = TITerPaths(N, M, window=2, max_hops=2).fit(graph)
-        scores = model.predict_entities(np.array([[0, 0]]), time=1)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=1)
         assert scores[0, 2] > 0
 
     def test_beam_width_limits(self):
         model = TITerPaths(N, M, window=2, max_hops=2, beam_width=1).fit(chain_graph())
-        scores = model.predict_entities(np.array([[0, 0]]), time=9)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=9)
         assert np.isfinite(scores).all()
 
     def test_relation_prediction_recency_weighted(self):
         facts = [(0, 0, 1, 0), (0, 1, 1, 5)]
         graph = TemporalKG(facts, N, M)
         model = TITerPaths(N, M, window=10, decay=0.5).fit(graph)
-        scores = model.predict_relations(np.array([[0, 1]]), time=6)
+        scores = model.predict_relations(np.array([[0, 1]]), ts=6)
         assert scores[0, 1] > scores[0, 0]  # newer evidence outweighs
 
 
 class TestXERTESubgraph:
     def test_attention_reaches_candidates(self):
         model = XERTESubgraph(N, M, window=2, hops=2).fit(chain_graph())
-        scores = model.predict_entities(np.array([[0, 0]]), time=9)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=9)
         assert scores[0, 1] > 0
 
     def test_relation_affinity_sharpens(self):
         facts = [(0, 0, 1, 0), (0, 2, 4, 0)]
         graph = TemporalKG(facts, N, M)
         model = XERTESubgraph(N, M, window=2, hops=1, relation_affinity=10.0).fit(graph)
-        scores = model.predict_entities(np.array([[0, 0]]), time=1)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=1)
         assert scores[0, 1] > scores[0, 4]
 
     def test_empty_history(self):
         model = XERTESubgraph(N, M).fit(TemporalKG(np.zeros((0, 4), dtype=np.int64), N, M))
-        scores = model.predict_entities(np.array([[0, 0]]), time=5)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=5)
         np.testing.assert_array_equal(scores, np.zeros((1, N)))
 
     def test_relation_prediction_delegates(self):
         model = XERTESubgraph(N, M, window=2).fit(chain_graph())
-        scores = model.predict_relations(np.array([[0, 1]]), time=9)
+        scores = model.predict_relations(np.array([[0, 1]]), ts=9)
         assert scores.shape == (1, M)
 
 

@@ -71,7 +71,7 @@ class TestScoreShapes:
     def test_extrapolation_protocol(self, name, factory):
         model = factory().eval()
         model._max_trained_time = 5
-        scores = model.predict_entities(np.array([[0, 0]]), time=999)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=999)
         assert scores.shape == (1, N)
         assert np.all(np.isfinite(scores))
 

@@ -15,8 +15,8 @@ from repro.core import (
 from repro.graph import NUM_HYPERRELATIONS, Snapshot, build_hyperrelation_graph
 
 
-def make_snapshot(triples, num_entities=6, num_relations=3, time=0):
-    return Snapshot(np.array(triples), num_entities, num_relations, time)
+def make_snapshot(triples, num_entities=6, num_relations=3, ts=0):
+    return Snapshot(np.array(triples), num_entities, num_relations, ts)
 
 
 RNG = np.random.default_rng

@@ -134,7 +134,7 @@ class TestAblationSwitches:
         model = make_model(time_variability=False).eval()
         graph = tiny_graph()
         model.set_history(graph)
-        scores = model.predict_entities(np.array([[0, 0]]), time=2)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=2)
         assert scores.shape == (1, 5)
         # Probabilities from a single snapshot sum to ~1 per row.
         np.testing.assert_allclose(scores.sum(axis=1), [1.0], atol=1e-9)
@@ -143,7 +143,7 @@ class TestAblationSwitches:
         model = make_model(history_length=2).eval()
         graph = tiny_graph()
         model.set_history(graph)
-        scores = model.predict_entities(np.array([[0, 0]]), time=3)
+        scores = model.predict_entities(np.array([[0, 0]]), ts=3)
         np.testing.assert_allclose(scores.sum(axis=1), [2.0], atol=1e-9)
 
 
@@ -152,13 +152,13 @@ class TestPredictionInterface:
         model = make_model().eval()
         model.set_history(tiny_graph())
         queries = np.array([[0, 0], [1, 3]])  # includes inverse relation id
-        scores = model.predict_entities(queries, time=3)
+        scores = model.predict_entities(queries, ts=3)
         assert scores.shape == (2, 5)
 
     def test_predict_relations_shape(self):
         model = make_model().eval()
         model.set_history(tiny_graph())
-        scores = model.predict_relations(np.array([[0, 1]]), time=3)
+        scores = model.predict_relations(np.array([[0, 1]]), ts=3)
         assert scores.shape == (1, 2)  # M candidates
 
     def test_prediction_deterministic_in_eval(self):
@@ -175,9 +175,9 @@ class TestPredictionInterface:
         model = make_model().eval()
         graph = tiny_graph()
         model.set_history(TemporalKG(graph.facts[graph.facts[:, 3] < 2], 5, 2))
-        before = model.predict_entities(np.array([[0, 0]]), time=2)
+        before = model.predict_entities(np.array([[0, 0]]), ts=2)
         model.record_snapshot(graph.snapshot(3))  # future info
-        after = model.predict_entities(np.array([[0, 0]]), time=2)
+        after = model.predict_entities(np.array([[0, 0]]), ts=2)
         np.testing.assert_array_equal(before, after)
 
     def test_observe_records(self):
@@ -198,9 +198,9 @@ class TestPredictionInterface:
         model = make_model().eval()
         graph = tiny_graph()
         model.set_history(TemporalKG(graph.facts[graph.facts[:, 3] < 2], 5, 2))
-        before = model.predict_entities(np.array([[0, 0]]), time=3)
+        before = model.predict_entities(np.array([[0, 0]]), ts=3)
         model.observe(graph.snapshot(2))  # extends history before t=3
-        after = model.predict_entities(np.array([[0, 0]]), time=3)
+        after = model.predict_entities(np.array([[0, 0]]), ts=3)
         assert not np.array_equal(before, after)
 
 

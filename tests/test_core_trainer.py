@@ -137,7 +137,7 @@ class TestOnlineAdapter:
         model = make_model()
         adapter = Trainer(model, TrainerConfig()).online_adapter()
         before = model.entity_embedding.data.copy()
-        adapter.observe(Snapshot(np.zeros((0, 3)), 20, 4, time=99))
+        adapter.observe(Snapshot(np.zeros((0, 3)), 20, 4, ts=99))
         np.testing.assert_array_equal(before, model.entity_embedding.data)
 
 

@@ -365,11 +365,11 @@ class RecordingModel:
         mix = (keys[:, :1] * 31 + keys[:, 1:2] * 17) % num_classes
         return np.sin(0.1 * (base + mix)).astype(np.float64)
 
-    def predict_entities(self, queries, time):
+    def predict_entities(self, queries, ts):
         self.entity_rows += len(queries)
         return self._scores(np.asarray(queries), self.num_entities)
 
-    def predict_relations(self, pairs, time):
+    def predict_relations(self, pairs, ts):
         self.relation_rows += len(pairs)
         return self._scores(np.asarray(pairs), self.num_relations)
 
@@ -397,17 +397,17 @@ class TestEvalDedup:
         from repro.eval.metrics import RankAccumulator, ranks_from_scores
 
         entity_acc, relation_acc = RankAccumulator(), RankAccumulator()
-        for time in graph.timestamps:
-            triples = graph.snapshot(int(time)).triples
+        for ts in graph.timestamps:
+            triples = graph.snapshot(int(ts)).triples
             s, r, o = triples[:, 0], triples[:, 1], triples[:, 2]
             queries = np.concatenate(
                 [np.stack([s, r], axis=1), np.stack([o, r + 2], axis=1)]
             )
             targets = np.concatenate([o, s])
-            scores = model.predict_entities(queries, int(time))
+            scores = model.predict_entities(queries, int(ts))
             entity_acc.update(ranks_from_scores(scores, targets))
             pairs = np.stack([s, o], axis=1)
-            relation_acc.update(ranks_from_scores(model.predict_relations(pairs, int(time)), r))
+            relation_acc.update(ranks_from_scores(model.predict_relations(pairs, int(ts)), r))
         return entity_acc.summary(), relation_acc.summary()
 
     def test_ranks_identical_and_fewer_rows_scored(self):

@@ -108,20 +108,20 @@ class TestFilterIndex:
     def test_static_filter_excludes_known_objects(self):
         index = FilterIndex(tiny_graph())
         # Query (0, 0, ?): objects 1 and 2 are known somewhere in time.
-        mask = index.mask(np.array([[0, 0]]), time=5, setting="static")
+        mask = index.mask(np.array([[0, 0]]), ts=5, setting="static")
         np.testing.assert_array_equal(mask[0], [False, True, True])
 
     def test_time_filter_scoped_to_timestamp(self):
         index = FilterIndex(tiny_graph())
-        mask_t0 = index.mask(np.array([[0, 0]]), time=0, setting="time")
-        mask_t2 = index.mask(np.array([[0, 0]]), time=2, setting="time")
+        mask_t0 = index.mask(np.array([[0, 0]]), ts=0, setting="time")
+        mask_t2 = index.mask(np.array([[0, 0]]), ts=2, setting="time")
         np.testing.assert_array_equal(mask_t0[0], [False, True, True])
         np.testing.assert_array_equal(mask_t2[0], [False, True, False])
 
     def test_inverse_queries_filtered(self):
         index = FilterIndex(tiny_graph())
         # Subject query (?, 0, 1) arrives as (1, 0 + M=2).
-        mask = index.mask(np.array([[1, 2]]), time=0, setting="static")
+        mask = index.mask(np.array([[1, 2]]), ts=0, setting="static")
         assert mask[0, 0]  # entity 0 is a known subject
 
     def test_raw_returns_none(self):
@@ -141,8 +141,8 @@ class OracleModel:
         self.graph = graph
         self.observed = []
 
-    def predict_entities(self, queries, time):
-        snapshot = self.graph.snapshot(time)
+    def predict_entities(self, queries, ts):
+        snapshot = self.graph.snapshot(ts)
         scores = np.zeros((len(queries), self.graph.num_entities))
         truth = {}
         for s, r, o in snapshot.triples:
@@ -153,8 +153,8 @@ class OracleModel:
                 scores[i, o] = 1.0
         return scores
 
-    def predict_relations(self, pairs, time):
-        snapshot = self.graph.snapshot(time)
+    def predict_relations(self, pairs, ts):
+        snapshot = self.graph.snapshot(ts)
         scores = np.zeros((len(pairs), self.graph.num_relations))
         truth = {}
         for s, r, o in snapshot.triples:
@@ -174,10 +174,10 @@ class RandomModel:
         self.num_relations = num_relations
         self.rng = np.random.default_rng(seed)
 
-    def predict_entities(self, queries, time):
+    def predict_entities(self, queries, ts):
         return self.rng.normal(size=(len(queries), self.num_entities))
 
-    def predict_relations(self, pairs, time):
+    def predict_relations(self, pairs, ts):
         return self.rng.normal(size=(len(pairs), self.num_relations))
 
     def observe(self, snapshot):

@@ -12,8 +12,8 @@ from repro.graph import (
 )
 
 
-def make_snapshot(triples, num_entities=8, num_relations=4, time=0):
-    return Snapshot(np.array(triples), num_entities, num_relations, time)
+def make_snapshot(triples, num_entities=8, num_relations=4, ts=0):
+    return Snapshot(np.array(triples), num_entities, num_relations, ts)
 
 
 def hyperedges_of_type(hyper, htype):
@@ -170,7 +170,7 @@ def test_property_hyperedges_witnessed_by_entity(n_facts, seed):
         ],
         axis=1,
     )
-    snap = Snapshot(triples, num_entities=6, num_relations=3, time=0)
+    snap = Snapshot(triples, num_entities=6, num_relations=3, ts=0)
     hyper = build_hyperrelation_graph(snap)
     objects_of = {}
     subjects_of = {}

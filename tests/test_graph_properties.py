@@ -21,7 +21,7 @@ def random_snapshot(rng, n_facts, num_entities=8, num_relations=3):
         ],
         axis=1,
     )
-    return Snapshot(triples, num_entities, num_relations, time=0)
+    return Snapshot(triples, num_entities, num_relations, ts=0)
 
 
 @given(n_facts=st.integers(1, 30), seed=st.integers(0, 2000))

@@ -6,8 +6,8 @@ import pytest
 from repro.graph import Snapshot
 
 
-def make_snapshot(triples, num_entities=6, num_relations=3, time=0):
-    return Snapshot(np.array(triples), num_entities, num_relations, time)
+def make_snapshot(triples, num_entities=6, num_relations=3, ts=0):
+    return Snapshot(np.array(triples), num_entities, num_relations, ts)
 
 
 class TestConstruction:

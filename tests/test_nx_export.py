@@ -11,8 +11,8 @@ from repro.graph import (
 )
 
 
-def make_snapshot(triples, num_entities=8, num_relations=4, time=3):
-    return Snapshot(np.array(triples), num_entities, num_relations, time)
+def make_snapshot(triples, num_entities=8, num_relations=4, ts=3):
+    return Snapshot(np.array(triples), num_entities, num_relations, ts)
 
 
 class TestSnapshotExport:
@@ -26,7 +26,7 @@ class TestSnapshotExport:
         assert relations == {1, 3}
 
     def test_time_attribute(self):
-        graph = snapshot_to_networkx(make_snapshot([[0, 1, 2]], time=3))
+        graph = snapshot_to_networkx(make_snapshot([[0, 1, 2]], ts=3))
         assert graph.graph["time"] == 3
 
     def test_include_inverse_doubles_edges(self):

@@ -235,6 +235,7 @@ def _one_of_each_event(reporter):
     reporter.emit("nonfinite_skip", epoch=1, global_batch=2, stage="loss")
     reporter.emit("observe", time=9, facts=17, steps=3, skips=0)
     reporter.emit("bench", name="encoder", metrics={"metrics": []})
+    reporter.emit("worker", scope="eval", worker=0, shards=3, seconds=0.05)
     reporter.emit(
         "probe",
         epoch=1,

@@ -55,7 +55,7 @@ def test_property_scores_nonnegative_and_bounded(seed):
     model = TLogicRules(N, M, max_lag=2, min_support=1, min_confidence=0.0)
     model.fit(TemporalKG(facts, N, M))
     queries = np.stack([rng.integers(0, N, size=5), rng.integers(0, 2 * M, size=5)], axis=1)
-    scores = model.predict_entities(queries, time=6)
+    scores = model.predict_entities(queries, ts=6)
     assert np.all(scores >= 0.0)
     assert np.all(np.isfinite(scores))
 

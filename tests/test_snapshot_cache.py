@@ -7,8 +7,8 @@ from repro.core import RETIA, RETIAConfig
 from repro.graph import Snapshot, SnapshotCache, TemporalKG, build_hyperrelation_graph
 
 
-def make_snapshot(time=0, triples=((0, 0, 1), (1, 1, 2), (2, 0, 0))):
-    return Snapshot(np.array(triples), num_entities=4, num_relations=2, time=time)
+def make_snapshot(ts=0, triples=((0, 0, 1), (1, 1, 2), (2, 0, 0))):
+    return Snapshot(np.array(triples), num_entities=4, num_relations=2, ts=ts)
 
 
 class TestSnapshotCache:
@@ -36,14 +36,14 @@ class TestSnapshotCache:
 
     def test_content_change_misses(self):
         cache = SnapshotCache()
-        cache.artifacts(make_snapshot(time=5))
-        cache.artifacts(make_snapshot(time=5, triples=((0, 0, 1), (1, 1, 2), (3, 1, 0))))
+        cache.artifacts(make_snapshot(ts=5))
+        cache.artifacts(make_snapshot(ts=5, triples=((0, 0, 1), (1, 1, 2), (3, 1, 0))))
         assert cache.misses == 2
 
     def test_lru_eviction_bound(self):
         cache = SnapshotCache(max_entries=2)
         for t in range(5):
-            cache.artifacts(make_snapshot(time=t))
+            cache.artifacts(make_snapshot(ts=t))
         assert len(cache) == 2
 
     def test_zero_entries_disables_caching(self):
@@ -55,8 +55,8 @@ class TestSnapshotCache:
 
     def test_invalidate_time(self):
         cache = SnapshotCache()
-        cache.artifacts(make_snapshot(time=3))
-        cache.artifacts(make_snapshot(time=4))
+        cache.artifacts(make_snapshot(ts=3))
+        cache.artifacts(make_snapshot(ts=4))
         assert cache.invalidate_time(3) == 1
         assert len(cache) == 1
 
@@ -72,7 +72,7 @@ class TestSnapshotCache:
 
     def test_empty_snapshot(self):
         cache = SnapshotCache()
-        art = cache.artifacts(Snapshot(np.zeros((0, 3)), 4, 2, time=9))
+        art = cache.artifacts(Snapshot(np.zeros((0, 3)), 4, 2, ts=9))
         assert art.hyper.is_empty
         assert len(art.entity_edges) == 0
 
@@ -113,7 +113,7 @@ class TestModelCacheWiring:
         model.set_history(graph)
         model.loss_on_snapshot(graph.snapshot(2))
         # Reveal different facts for an already-cached timestamp.
-        replacement = Snapshot(np.array([[4, 1, 0]]), 5, 2, time=1)
+        replacement = Snapshot(np.array([[4, 1, 0]]), 5, 2, ts=1)
         model.record_snapshot(replacement)
         before = model.snapshot_cache.misses
         model.loss_on_snapshot(graph.snapshot(2))
@@ -132,6 +132,6 @@ class TestModelCacheWiring:
             model = self._model()
             model.snapshot_cache = SnapshotCache(max_entries=max_entries)
             model.set_history(graph)
-            return model.predict_entities(queries, time=2)
+            return model.predict_entities(queries, ts=2)
 
         np.testing.assert_allclose(scores(512), scores(0), atol=1e-12)
