@@ -42,9 +42,23 @@ import argparse
 import math
 import sys
 
-from repro.obs import RUN_END_STATUSES, ReportError, read_events
+from repro.obs import (
+    REFRESH_OUTCOMES,
+    RUN_END_STATUSES,
+    SHED_REASONS,
+    ReportError,
+    read_events,
+)
 
 ENCODER_PHASES = ("hypergraph", "ram", "eam")
+#: Legal circuit-breaker edges (mirrors repro.serve.breaker, kept
+#: literal here so the gate cannot drift silently with the code).
+BREAKER_TRANSITIONS = {
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "closed"),
+    ("half_open", "open"),
+}
 #: Tolerance on "phases fit inside the epoch" (timer overhead jitter).
 PHASE_SUM_SLACK = 1.05
 #: Tolerance on the diagnostic MRR recomposition (float accumulation).
@@ -137,6 +151,143 @@ def check_diagnostics(events: list) -> list:
     return problems
 
 
+KNOWN_REQUEST_STATUSES = {200, 400, 408, 500, 503}
+
+
+def check_serve(events: list, min_availability=None) -> list:
+    """Serving-layer invariants (DESIGN.md §8).
+
+    * breaker transitions replay legally from ``closed``;
+    * every shed is explained by a known reason, and the ``drain``
+      totals reconcile with the per-event stream;
+    * ``staleness`` is monotone non-decreasing between snapshot
+      publishes (``refresh_retry`` with outcome ``ok``) and resets only
+      at a publish;
+    * no ``500``-status requests — an internal error the ladder failed
+      to degrade is never "expected";
+    * the ``drain`` event terminates the serve stream (only ``run_end``
+      may follow);
+    * optionally, availability (OK responses over non-shed requests)
+      meets ``min_availability``.
+    """
+    problems = []
+    serve_kinds = {
+        "request", "shed", "refresh_retry", "breaker_transition", "degraded", "drain",
+    }
+    serve_events = [e for e in events if e["event"] in serve_kinds]
+    if not serve_events:
+        return problems
+
+    state = "closed"
+    for e in (x for x in serve_events if x["event"] == "breaker_transition"):
+        edge = (e["from_state"], e["to_state"])
+        if edge not in BREAKER_TRANSITIONS:
+            problems.append(
+                f"breaker_transition at seq {e['seq']}: illegal edge "
+                f"{edge[0]} -> {edge[1]}"
+            )
+        if e["from_state"] != state:
+            problems.append(
+                f"breaker_transition at seq {e['seq']}: claims from_state "
+                f"{e['from_state']!r} but the replayed state is {state!r}"
+            )
+        state = e["to_state"]
+
+    sheds = [e for e in serve_events if e["event"] == "shed"]
+    for e in sheds:
+        if e["reason"] not in SHED_REASONS:
+            problems.append(
+                f"shed at seq {e['seq']}: unexplained reason {e['reason']!r} "
+                f"(known: {sorted(SHED_REASONS)})"
+            )
+
+    for e in (x for x in serve_events if x["event"] == "refresh_retry"):
+        if e["outcome"] not in REFRESH_OUTCOMES:
+            problems.append(
+                f"refresh_retry at seq {e['seq']}: unknown outcome {e['outcome']!r}"
+            )
+        if not isinstance(e["attempt"], int) or e["attempt"] < 1:
+            problems.append(
+                f"refresh_retry at seq {e['seq']}: invalid attempt {e['attempt']!r}"
+            )
+
+    # Staleness: monotone non-decreasing between publishes, reset only
+    # by a successful refresh.
+    floor = 0
+    for e in serve_events:
+        if e["event"] == "refresh_retry" and e["outcome"] == "ok":
+            floor = 0
+        elif e["event"] == "request":
+            staleness = e["staleness"]
+            if not isinstance(staleness, int) or staleness < 0:
+                problems.append(
+                    f"request at seq {e['seq']}: invalid staleness {staleness!r}"
+                )
+                continue
+            if staleness < floor:
+                problems.append(
+                    f"request at seq {e['seq']}: staleness dropped {floor} -> "
+                    f"{staleness} without an intervening successful refresh"
+                )
+            floor = max(floor, staleness)
+
+    requests = [e for e in serve_events if e["event"] == "request"]
+    for e in requests:
+        if e["status"] not in KNOWN_REQUEST_STATUSES:
+            problems.append(
+                f"request at seq {e['seq']}: unknown status {e['status']!r}"
+            )
+    errors = [e for e in requests if e["status"] == 500]
+    for e in errors:
+        problems.append(
+            f"request at seq {e['seq']}: internal error (status 500): "
+            f"{e.get('error', 'no error message')}"
+        )
+
+    drains = [e for e in serve_events if e["event"] == "drain"]
+    if not drains:
+        problems.append("serve events present but no drain event (unclean shutdown)")
+    else:
+        if len(drains) > 1:
+            problems.append(f"{len(drains)} drain events (drain must be idempotent)")
+        drain = drains[-1]
+        trailing = [e["event"] for e in events if e["seq"] > drain["seq"]]
+        if any(kind != "run_end" for kind in trailing):
+            problems.append(
+                f"events after drain: {trailing} (only run_end may follow)"
+            )
+        if drain["requests"] != len(requests):
+            problems.append(
+                f"drain claims {drain['requests']} request(s) but "
+                f"{len(requests)} request event(s) were emitted"
+            )
+        if drain["shed"] != len(sheds):
+            problems.append(
+                f"drain claims {drain['shed']} shed(s) but {len(sheds)} "
+                f"shed event(s) were emitted (unexplained sheds)"
+            )
+        deadline = sum(1 for e in requests if e["status"] == 408)
+        if drain["deadline_exceeded"] != deadline:
+            problems.append(
+                f"drain claims {drain['deadline_exceeded']} deadline rejection(s) "
+                f"but {deadline} request(s) have status 408"
+            )
+        if not drain.get("clean", False):
+            problems.append("drain reports an unclean stop (worker failed to join)")
+
+    if min_availability is not None and requests:
+        ok = sum(1 for e in requests if e["status"] == 200)
+        shed_requests = sum(1 for e in requests if e["status"] == 503)
+        non_shed = max(1, len(requests) - shed_requests)
+        availability = ok / non_shed
+        if availability < min_availability:
+            problems.append(
+                f"availability {availability:.4f} ({ok}/{non_shed} non-shed "
+                f"requests OK) below the {min_availability:.4f} gate"
+            )
+    return problems
+
+
 def _phase_seconds(epoch_event: dict) -> dict:
     out = {}
     for name, stats in (epoch_event.get("phase_seconds") or {}).items():
@@ -144,7 +295,9 @@ def _phase_seconds(epoch_event: dict) -> dict:
     return out
 
 
-def check_events(events: list, max_encoder_share: float, allowed_statuses) -> list:
+def check_events(
+    events: list, max_encoder_share: float, allowed_statuses, min_availability=None
+) -> list:
     """All invariant violations found (empty means healthy)."""
     problems = []
 
@@ -259,6 +412,7 @@ def check_events(events: list, max_encoder_share: float, allowed_statuses) -> li
 
     problems.extend(check_probes(events))
     problems.extend(check_diagnostics(events))
+    problems.extend(check_serve(events, min_availability=min_availability))
     return problems
 
 
@@ -277,6 +431,13 @@ def main() -> int:
         default=None,
         help="acceptable run_end status (repeatable; default: completed)",
     )
+    parser.add_argument(
+        "--min-availability",
+        type=float,
+        default=None,
+        help="serve gate: minimum OK fraction of non-shed requests "
+        "(e.g. 0.99; default: no availability gate)",
+    )
     args = parser.parse_args()
     allowed = set(args.allow_status or ["completed"])
 
@@ -289,9 +450,12 @@ def main() -> int:
         print(f"FAIL: malformed run report: {exc}")
         return 1
 
-    problems = check_events(events, args.max_encoder_share, allowed)
+    problems = check_events(
+        events, args.max_encoder_share, allowed, min_availability=args.min_availability
+    )
     epochs = sum(1 for e in events if e["event"] == "epoch")
     probes = sum(1 for e in events if e["event"] == "probe")
+    requests = sum(1 for e in events if e["event"] == "request")
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}")
@@ -299,7 +463,8 @@ def main() -> int:
     print(
         f"OK: {args.report} is healthy "
         f"({len(events)} events, {epochs} epoch(s), {probes} probe(s), "
-        f"seq monotone, spans balanced, all non-finite skips explained)"
+        f"{requests} serve request(s), seq monotone, spans balanced, "
+        f"all non-finite skips and sheds explained)"
     )
     return 0
 

@@ -260,9 +260,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline_entries = [
             e for e in baseline_entries if e.get("workers") == args.eval_workers
         ]
+    elif component == "serve":
+        # Likewise, a chaos drill and a clean run are different series.
+        baseline_entries = [
+            e for e in baseline_entries if bool(e.get("chaos")) == args.chaos
+        ]
     results = []
     for repeat in range(args.repeats):
-        if component == "decoder":
+        if component == "serve":
+            from repro.serve import benchmark_serve
+
+            result = benchmark_serve(
+                args.dataset,
+                chaos=args.chaos,
+                seed=args.seed,
+                dtype=args.dtype,
+            )
+        elif component == "decoder":
             result = benchmark_decoder(
                 args.dataset,
                 seed=args.seed,
@@ -309,6 +323,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if component == "eval":
                 extra["workers"] = result["workers"]
                 extra["cpus"] = result["cpus"]
+            elif component == "serve":
+                extra["chaos"] = result["chaos"]
+                extra["offered_qps"] = result["offered_qps"]
+                extra["qps"] = result["qps"]
+                extra["availability"] = result["availability"]
+                extra["shed_rate"] = result["shed_rate"]
+                extra["serve_p50_seconds"] = result["serve_p50_seconds"]
+                extra["serve_p99_seconds"] = result["serve_p99_seconds"]
             append_entry(
                 args.history,
                 make_entry(result, name=component, extra=extra or None),
@@ -330,6 +352,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         events = read_events(args.report, strict=not args.no_validate)
     except (OSError, ReportError) as exc:
         print(f"unreadable run report: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(
+            f"unreadable run report: {args.report} contains no events "
+            "(empty or truncated before the first line)",
+            file=sys.stderr,
+        )
         return 1
     summary = summarize_run(events)
     if args.format == "json":
@@ -450,6 +479,165 @@ def cmd_drill(args: argparse.Namespace) -> int:
     match = resumed.model.fingerprint() == reference.model.fingerprint()
     print(f"resumed run matches uninterrupted run bit-for-bit: {match}")
     return 0 if match else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the resilient serving layer and drive it with the loadgen.
+
+    Runs the full degradation-ladder drill on a synthetic dataset: a
+    persistent decoder-only server, open-loop Poisson traffic with mixed
+    score/topk/ingest, optional all-injectors chaos plan, and a graceful
+    drain — either after the workload finishes or early on
+    SIGINT/SIGTERM (the CI ``serve-chaos`` job gates on exit 0 plus a
+    final ``drain`` event in the run report).
+    """
+    import threading
+    import time
+
+    from repro.bench.runner import BENCH_PROFILES, bench_dataset, build_retia_config
+    from repro.core.trainer import OnlineAdapter
+    from repro.obs import MetricsRegistry
+    from repro.resilience import GracefulInterrupt
+    from repro.serve import (
+        STATE_CLOSED,
+        LoadgenConfig,
+        ModelServer,
+        ServeConfig,
+        default_chaos_plan,
+        record_serve_metrics,
+        run_loadgen,
+        summarize_responses,
+    )
+
+    dataset = bench_dataset(args.dataset)
+    profile = BENCH_PROFILES[args.dataset]
+    model = RETIA(build_retia_config(dataset, profile, seed=args.seed, dtype=args.dtype))
+    model.set_history(dataset.train)
+    for t in dataset.valid.timestamps:
+        model.record_snapshot(dataset.valid.snapshot(int(t)))
+    model.eval()
+    adapter = OnlineAdapter(
+        model, TrainerConfig(online_steps=1, online_lr=1e-3, seed=args.seed)
+    )
+    reporter = RunReporter(args.run_report) if args.run_report else None
+    registry = MetricsRegistry()
+    injector = default_chaos_plan() if args.chaos else None
+    config = ServeConfig(
+        max_batch=32,
+        max_queue=128,
+        batch_wait_ms=1.0,
+        default_deadline_ms=args.deadline_ms,
+        refresh_attempts=3,
+        refresh_backoff_ms=5.0,
+        breaker_failure_threshold=3,
+        breaker_recovery_ms=50.0,
+        seed=args.seed,
+    )
+    server = ModelServer(
+        model,
+        adapter=adapter,
+        config=config,
+        reporter=reporter,
+        registry=registry,
+        fault_injector=injector,
+    )
+    test_times = [int(t) for t in dataset.test.timestamps]
+    snapshots = [dataset.test.snapshot(t) for t in test_times]
+    load = LoadgenConfig(
+        requests=args.requests,
+        qps=args.qps,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    responses = []
+
+    def drive() -> None:
+        responses.extend(
+            run_loadgen(
+                server,
+                dataset.num_entities,
+                dataset.num_relations,
+                ingest_snapshots=snapshots,
+                config=load,
+            )
+        )
+
+    clean = None
+    try:
+        with GracefulInterrupt() as interrupt:
+            server.start(ts=test_times[0])
+            print(
+                f"serving {args.dataset}: {args.requests} requests at "
+                f"{args.qps:g} offered qps"
+                + (" (chaos plan armed)" if args.chaos else "")
+            )
+            start = time.perf_counter()
+            worker = threading.Thread(
+                target=drive, name="repro-serve-loadgen", daemon=True
+            )
+            worker.start()
+            while worker.is_alive():
+                worker.join(timeout=0.05)
+                if interrupt.triggered and clean is None:
+                    # Drain immediately: in-flight requests are shed with
+                    # reason "draining" and the loadgen finishes fast.
+                    print("signal received: draining", file=sys.stderr)
+                    clean = server.drain()
+            if args.chaos and clean is None:
+                # Deterministic half-open recovery probe (same as the
+                # bench drill): wait out the recovery window, then one
+                # clean ingest drives open -> half-open -> closed.
+                time.sleep(config.breaker_recovery_ms / 1000.0 + 0.01)
+                server.ingest(snapshots[-1])
+            wall = time.perf_counter() - start
+            if clean is None:
+                clean = server.drain()
+    finally:
+        if clean is None:  # boot or loadgen blew up before a drain
+            clean = server.drain()
+        if reporter is not None:
+            reporter.close()
+
+    summary = summarize_responses(responses, wall) if responses else None
+    if summary is None:
+        print("no responses recorded", file=sys.stderr)
+        return 1
+    record_serve_metrics(
+        registry, {"dataset": args.dataset, "chaos": args.chaos, **summary}
+    )
+    print(
+        f"requests: {summary['requests']}  ok: {summary['ok']}  "
+        f"shed: {summary['shed']}  deadline: {summary['deadline_exceeded']}  "
+        f"errors: {summary['errors']}  invalid: {summary['invalid']}"
+    )
+    print(
+        f"availability: {summary['availability']:.4f}  "
+        f"shed rate: {summary['shed_rate']:.4f}  "
+        f"achieved qps: {summary['qps']:.1f}"
+    )
+    print(
+        f"latency: p50 {summary['serve_p50_seconds'] * 1000:.2f} ms  "
+        f"p99 {summary['serve_p99_seconds'] * 1000:.2f} ms"
+    )
+    print(
+        f"staleness max: {summary['max_staleness']}  "
+        f"breaker: {server.breaker.state}  "
+        f"store: v{server.store.describe()['version']}"
+    )
+    if injector is not None:
+        faults = ", ".join(f"{k}={v}" for k, v in sorted(injector.summary().items()))
+        print(f"faults injected: {faults}")
+        print(f"breaker recovered: {server.breaker.state == STATE_CLOSED}")
+    print(f"clean drain: {clean}")
+    failed = not clean or summary["errors"] > 0
+    if args.min_availability is not None:
+        met = summary["availability"] >= args.min_availability
+        print(
+            f"availability gate ({args.min_availability:.4f}): "
+            f"{'ok' if met else 'FAILED'}"
+        )
+        failed = failed or not met
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -579,10 +767,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_argument(bench)
     bench.add_argument(
         "--component",
-        choices=("encoder", "decoder", "eval"),
+        choices=("encoder", "decoder", "eval", "serve"),
         default="encoder",
         help="which component to time and gate on (eval: the full "
-        "sharded evaluation protocol at --eval-workers)",
+        "sharded evaluation protocol at --eval-workers; serve: the "
+        "loadgen drill against the model server, gated on p99 latency)",
+    )
+    bench.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm the fault plan for --component serve (chaos and clean "
+        "runs are gated as separate history series)",
     )
     bench.add_argument(
         "--eval-workers",
@@ -643,6 +838,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_argument(hyper)
     hyper.add_argument("--time", type=int, default=0)
     hyper.set_defaults(handler=cmd_hypergraph)
+
+    serve = commands.add_parser(
+        "serve", help="boot the model server and run the loadgen drill"
+    )
+    _add_dataset_argument(serve)
+    serve.add_argument("--requests", type=int, default=160, help="loadgen requests")
+    serve.add_argument("--qps", type=float, default=300.0, help="offered arrival rate")
+    serve.add_argument(
+        "--deadline-ms", type=float, default=500.0, help="per-request deadline budget"
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm the full fault plan (refresh failures, poisoned ingest, "
+        "slow batches, clock-skewed deadlines)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float64",
+        help="precision policy the served model runs under",
+    )
+    serve.add_argument(
+        "--run-report",
+        help="stream JSONL serve telemetry (requests, sheds, refreshes, "
+        "breaker transitions, drain) here",
+    )
+    serve.add_argument(
+        "--min-availability",
+        type=float,
+        default=None,
+        help="exit 1 when availability over non-shed requests falls below this",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     drill = commands.add_parser("drill", help="run a fault-injection recovery drill")
     _add_dataset_argument(drill)

@@ -94,6 +94,41 @@ class RETIAConfig:
         object.__setattr__(self, "dtype", resolve_dtype(self.dtype).name)
 
 
+def validate_snapshot_ids(snapshot, num_entities: int, num_relations: int) -> None:
+    """Check every fact id in ``snapshot`` against a model's vocab.
+
+    A snapshot constructed with a *larger* declared vocabulary passes its
+    own constructor checks but would blow up deep inside an embedding
+    gather (``IndexError`` with no ids in the message) when fed to a
+    model with a smaller vocabulary.  The observe/ingest paths call this
+    first so the failure is loud and actionable: the offending ids and
+    the model's bounds, not a stack trace into the aggregator.
+    """
+    triples = np.asarray(snapshot.triples)
+    if triples.size == 0:
+        return
+    entities = triples[:, [0, 2]].ravel()
+    relations = triples[:, 1]
+    bad_entities = np.unique(entities[(entities < 0) | (entities >= num_entities)])
+    bad_relations = np.unique(relations[(relations < 0) | (relations >= num_relations)])
+    if bad_entities.size == 0 and bad_relations.size == 0:
+        return
+    parts = [f"snapshot t={snapshot.time} has out-of-vocabulary facts:"]
+    if bad_entities.size:
+        shown = ", ".join(str(i) for i in bad_entities[:8])
+        more = "" if bad_entities.size <= 8 else f" (+{bad_entities.size - 8} more)"
+        parts.append(
+            f"entity ids [{shown}]{more} outside [0, {num_entities})"
+        )
+    if bad_relations.size:
+        shown = ", ".join(str(i) for i in bad_relations[:8])
+        more = "" if bad_relations.size <= 8 else f" (+{bad_relations.size - 8} more)"
+        parts.append(
+            f"relation ids [{shown}]{more} outside [0, {num_relations})"
+        )
+    raise ValueError(" ".join(parts))
+
+
 class RETIA(Module):
     """Relation-Entity Twin-Interact Aggregation (ICDE 2023)."""
 
@@ -420,6 +455,9 @@ class RETIA(Module):
     def observe(self, snapshot: Snapshot) -> None:
         """Record revealed facts; online updates are handled by Trainer's
         :class:`~repro.core.trainer.OnlineAdapter`."""
+        validate_snapshot_ids(
+            snapshot, self.config.num_entities, self.config.num_relations
+        )
         self.record_snapshot(snapshot)
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ import numpy as np
 
 import time
 
-from repro.core.model import RETIA
+from repro.core.model import RETIA, validate_snapshot_ids
 from repro.eval import evaluate_extrapolation
 from repro.graph import Snapshot, TemporalKG
 from repro.nn import Adam
@@ -589,10 +589,13 @@ class OnlineAdapter:
         config: TrainerConfig,
         resilience: Optional[ResilienceConfig] = None,
         reporter: Optional[RunReporter] = None,
+        fault_injector=None,
     ):
         self.model = model
         self.config = config
         self.reporter = reporter
+        self.fault_injector = fault_injector
+        self.observed = 0
         self.optimizer = Adam(model.parameters(), lr=config.online_lr)
         sentinel = (resilience or ResilienceConfig()).sentinel_config()
         self.guard = NonFiniteGuard(self.optimizer, sentinel)
@@ -608,6 +611,14 @@ class OnlineAdapter:
         return self.model.predict_relations(pairs, ts)
 
     def observe(self, snapshot: Snapshot) -> None:
+        # Out-of-vocab facts must fail loudly here (ValueError naming the
+        # ids and bounds), not as an IndexError inside an embedding
+        # gather three frames down — the serve ingest path depends on it.
+        cfg = getattr(self.model, "config", None)
+        if cfg is not None and hasattr(cfg, "num_entities"):
+            validate_snapshot_ids(snapshot, cfg.num_entities, cfg.num_relations)
+        observe_index = self.observed
+        self.observed += 1
         if snapshot.is_empty:
             self.model.record_snapshot(snapshot)
             if self.reporter is not None:
@@ -620,6 +631,8 @@ class OnlineAdapter:
         self.model.train()
         for _ in range(self.config.online_steps):
             joint, _, _ = self.model.loss_on_snapshot(snapshot)
+            if self.fault_injector is not None:
+                self.fault_injector.poison_loss(joint, observe_index)
             if self.guard.guarded_step(joint, self.config.grad_clip):
                 self.model.mark_updated()
                 stepped += 1

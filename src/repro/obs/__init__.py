@@ -35,8 +35,10 @@ from repro.obs.probes import (
 )
 from repro.obs.report import (
     EVENT_SCHEMAS,
+    REFRESH_OUTCOMES,
     RUN_END_STATUSES,
     SCHEMA_VERSION,
+    SHED_REASONS,
     ReportError,
     RunReporter,
     read_events,
@@ -68,8 +70,10 @@ __all__ = [
     "ProbeConfig",
     "ProbeSuite",
     "EVENT_SCHEMAS",
+    "REFRESH_OUTCOMES",
     "RUN_END_STATUSES",
     "SCHEMA_VERSION",
+    "SHED_REASONS",
     "ReportError",
     "RunReporter",
     "read_events",

@@ -67,7 +67,20 @@ EVENT_SCHEMAS: Dict[str, tuple] = {
     ),
     # Evaluation diagnostics (repro.eval.diagnostics decomposition).
     "diagnostic": ("task", "setting", "aggregate", "relations", "timestamps"),
+    # Serving layer (repro.serve; invariants replayed by
+    # scripts/check_run_health.py — see DESIGN.md §8).
+    "request": ("kind", "status", "staleness", "latency_ms"),
+    "shed": ("kind", "reason"),
+    "refresh_retry": ("ts", "attempt", "outcome", "backoff_ms"),
+    "breaker_transition": ("from_state", "to_state", "reason"),
+    "degraded": ("ts", "staleness", "reason"),
+    "drain": ("requests", "shed", "errors", "deadline_exceeded", "clean"),
 }
+
+#: Legal ``refresh_retry`` outcomes.
+REFRESH_OUTCOMES = ("ok", "failed", "gave_up")
+#: Legal ``shed`` reasons — every shed must be explained by one of these.
+SHED_REASONS = ("queue_full", "draining", "deadline", "breaker_open")
 
 RUN_END_STATUSES = ("completed", "interrupted", "failed")
 

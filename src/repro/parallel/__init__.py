@@ -7,6 +7,7 @@ moment or model fingerprint.
 """
 
 from repro.parallel.eval import (
+    DEFAULT_SHARD_TIMEOUT,
     ShardedEvalError,
     diagnose_extrapolation_sharded,
     evaluate_extrapolation_sharded,
@@ -22,6 +23,7 @@ from repro.parallel.plan import (
 from repro.parallel.train import GradShardExecutor, ShardedLoss
 
 __all__ = [
+    "DEFAULT_SHARD_TIMEOUT",
     "GradShardExecutor",
     "ShardedEvalError",
     "ShardedLoss",

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -62,6 +63,12 @@ from repro.parallel.plan import shard_sequence
 
 #: Per-process worker state, populated by :func:`_init_eval_worker`.
 _WORKER_STATE: Dict[str, object] = {}
+
+#: Default ceiling on one shard block's wall-clock.  A SIGKILLed pool
+#: worker loses its task without any notification to the parent —
+#: ``Pool.map`` would wait forever — so every block result is collected
+#: with a timeout and re-raised as a diagnosable :class:`ShardedEvalError`.
+DEFAULT_SHARD_TIMEOUT = 300.0
 
 
 class ShardedEvalError(ValueError):
@@ -89,6 +96,25 @@ def _pool_context():
     """Prefer fork (cheap, inherits the payload); fall back to spawn."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _shutdown_pool(pool, grace: float = 5.0) -> None:
+    """Tear a pool down on the error path without risking a hang.
+
+    ``Pool.terminate()`` can wedge on its internal handler-thread joins
+    when workers died abnormally (SIGKILL/OOM — exactly the situations
+    that put us on this path), which would turn a diagnosable
+    ``ShardedEvalError`` into an indefinite wait.  Run the teardown in a
+    daemon thread with a bounded grace period and SIGKILL any surviving
+    workers; a wedged teardown is abandoned (``Finalize`` marks itself
+    called on entry, so the context-manager exit won't re-run it).
+    """
+    closer = threading.Thread(target=pool.terminate, daemon=True)
+    closer.start()
+    closer.join(timeout=grace)
+    for proc in list(getattr(pool, "_pool", None) or []):
+        if proc.is_alive():
+            proc.kill()
 
 
 def _init_eval_worker(payload: dict) -> None:
@@ -142,13 +168,17 @@ def _score_all(
     observe: bool,
     workers: int,
     dedup: bool,
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
 ) -> Tuple[List[TimestampScores], List[dict]]:
     """Score every test timestamp, sharded over ``workers`` processes.
 
     Returns the per-timestamp scores in chronological order plus one
     telemetry record per worker block.  With ``observe`` the caller's
     model is left with the test horizon recorded, matching the serial
-    driver's end state.
+    driver's end state.  ``shard_timeout`` bounds each block's
+    wall-clock (``None`` disables); a block that misses it — a killed or
+    hung worker — raises :class:`ShardedEvalError` naming the shard and
+    its timestamps.
     """
     _require_shardable(model, observe, workers)
     if setting != "raw" and filter_index is None:
@@ -223,7 +253,37 @@ def _score_all(
     with ctx.Pool(
         processes=workers, initializer=_init_eval_worker, initargs=(payload,)
     ) as pool:
-        results = pool.map(_score_block, blocks)
+        # One async task per block, each collected with a timeout: a
+        # worker that died (OOM-killed, SIGKILL) silently loses its task
+        # — ``pool.map`` would block forever — and a hung worker should
+        # surface as a named shard, not an indefinite wait.
+        pending = [
+            (index, block, pool.apply_async(_score_block, ((index, block),)))
+            for index, block in blocks
+        ]
+        results = []
+        for index, block, async_result in pending:
+            try:
+                results.append(async_result.get(timeout=shard_timeout))
+            except multiprocessing.TimeoutError:
+                _shutdown_pool(pool)
+                raise ShardedEvalError(
+                    f"shard block {index} (timestamps {block[:4]}"
+                    f"{'...' if len(block) > 4 else ''}) produced no result "
+                    f"within {shard_timeout:g}s — a pool worker likely died "
+                    "(killed/OOM) or hung; its task is lost silently, so the "
+                    "block is unrecoverable. Rerun with workers=1 to "
+                    "localise, or raise shard_timeout for slow hardware."
+                ) from None
+            except ShardedEvalError:
+                raise
+            except Exception as exc:
+                _shutdown_pool(pool)
+                raise ShardedEvalError(
+                    f"shard block {index} (timestamps {block[:4]}"
+                    f"{'...' if len(block) > 4 else ''}) failed in a pool "
+                    f"worker: {type(exc).__name__}: {exc}"
+                ) from exc
     # Leave the caller's model in the serial driver's end state: the
     # test horizon revealed (workers recorded it only in their own
     # replicas).
@@ -272,12 +332,15 @@ def evaluate_extrapolation_sharded(
     workers: int = 1,
     reporter=None,
     registry=None,
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
 ) -> EvaluationResult:
     """:func:`~repro.eval.evaluate_extrapolation`, sharded over processes.
 
     Bit-identical to the serial driver for every worker count (see the
     module docstring for why).  ``reporter``/``registry`` receive one
-    ``worker`` event / metric series per worker block.
+    ``worker`` event / metric series per worker block.  A worker that
+    dies or hangs past ``shard_timeout`` raises
+    :class:`ShardedEvalError` naming the shard and its timestamps.
     """
     scored, telemetry = _score_all(
         model,
@@ -288,6 +351,7 @@ def evaluate_extrapolation_sharded(
         observe,
         workers,
         dedup=True,
+        shard_timeout=shard_timeout,
     )
     entity_acc = RankAccumulator()
     relation_acc = RankAccumulator()
@@ -314,6 +378,7 @@ def diagnose_extrapolation_sharded(
     workers: int = 1,
     reporter=None,
     registry=None,
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
 ) -> DiagnosticsReport:
     """:func:`~repro.eval.diagnose_extrapolation`, sharded over processes.
 
@@ -332,6 +397,7 @@ def diagnose_extrapolation_sharded(
         observe,
         workers,
         dedup=False,
+        shard_timeout=shard_timeout,
     )
     accumulators = DiagnosticsAccumulators(known_entities, test_graph.num_entities)
     for entry in scored:

@@ -34,6 +34,8 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import (
     FaultInjector,
+    RefreshFault,
+    ServeFaultInjector,
     SimulatedCrash,
     flip_bit,
     truncate_file,
@@ -99,6 +101,8 @@ __all__ = [
     "TrainingInterrupted",
     "EXIT_RESUMABLE",
     "FaultInjector",
+    "RefreshFault",
+    "ServeFaultInjector",
     "SimulatedCrash",
     "truncate_file",
     "flip_bit",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from typing import Iterable, Optional
 
 import numpy as np
@@ -31,6 +32,10 @@ import numpy as np
 
 class SimulatedCrash(RuntimeError):
     """Stand-in for a hard process kill between batches."""
+
+
+class RefreshFault(RuntimeError):
+    """Injected snapshot-refresh failure (encoder capture blew up)."""
 
 
 class FaultInjector:
@@ -59,6 +64,99 @@ class FaultInjector:
         if global_batch in self.nan_loss_at:
             loss.data = np.full_like(loss.data, np.nan)
             self.injected_nans += 1
+
+
+class ServeFaultInjector:
+    """Deterministic fault plan for the serving layer's chaos drills.
+
+    Four fault families, each keyed on a *deterministic* index so a
+    drill replays identically (the serve availability gate in CI
+    depends on that):
+
+    * ``refresh_fail_at`` — global refresh *attempt* indices whose
+      encoder capture raises :class:`RefreshFault`; three consecutive
+      indices defeat one whole retry cycle and force the server to
+      degrade to stale serving.
+    * ``poison_ingest_at`` — ingest call indices whose online-training
+      loss is overwritten with NaN (the injector attaches itself as the
+      :class:`~repro.core.trainer.OnlineAdapter`'s loss hook), so the
+      NaN sentinel skips the step and the ingest breaker sees failures.
+    * ``slow_batch_every``/``slow_batch_seconds`` — every *n*-th
+      decoder micro-batch stalls, exercising deadline propagation.
+    * ``skew_every``/``skew_seconds`` — every *n*-th request's deadline
+      budget is shortened, modelling client/server clock skew.
+    """
+
+    def __init__(
+        self,
+        refresh_fail_at: Iterable[int] = (),
+        poison_ingest_at: Iterable[int] = (),
+        slow_batch_every: int = 0,
+        slow_batch_seconds: float = 0.02,
+        skew_every: int = 0,
+        skew_seconds: float = 0.0,
+    ):
+        self.refresh_fail_at = frozenset(int(i) for i in refresh_fail_at)
+        self.poison_ingest_at = frozenset(int(i) for i in poison_ingest_at)
+        self.slow_batch_every = int(slow_batch_every)
+        self.slow_batch_seconds = float(slow_batch_seconds)
+        self.skew_every = int(skew_every)
+        self.skew_seconds = float(skew_seconds)
+        self.refresh_failures_injected = 0
+        self.stalls_injected = 0
+        self.skews_injected = 0
+        self.injected_nans = 0
+
+    # -- refresh worker -------------------------------------------------
+    def on_refresh_attempt(self, attempt_index: int) -> None:
+        """Raise :class:`RefreshFault` when this attempt is marked."""
+        if attempt_index in self.refresh_fail_at:
+            self.refresh_failures_injected += 1
+            raise RefreshFault(f"injected refresh failure (attempt {attempt_index})")
+
+    # -- ingest path ----------------------------------------------------
+    def arm_ingest(self, adapter, ingest_index: int) -> None:
+        """Attach self as ``adapter``'s loss hook (idempotent).
+
+        Poisoning is keyed on the adapter's *observe* index, which the
+        adapter increments under the model lock — race-free under
+        concurrent ingests, unlike any armed-for-the-next-call flag.
+        """
+        adapter.fault_injector = self
+
+    def poison_loss(self, loss, global_batch: int) -> None:
+        """OnlineAdapter hook: NaN the loss of marked observe calls."""
+        if global_batch in self.poison_ingest_at:
+            loss.data = np.full_like(loss.data, np.nan)
+            self.injected_nans += 1
+
+    # -- query path -----------------------------------------------------
+    def on_score_batch(self, batch_index: int) -> None:
+        """Stall every ``slow_batch_every``-th decoder micro-batch."""
+        if (
+            self.slow_batch_every > 0
+            and batch_index % self.slow_batch_every == self.slow_batch_every - 1
+        ):
+            self.stalls_injected += 1
+            time.sleep(self.slow_batch_seconds)
+
+    def deadline_skew(self, request_index: int) -> float:
+        """Seconds to *subtract* from this request's deadline budget."""
+        if (
+            self.skew_every > 0
+            and request_index % self.skew_every == self.skew_every - 1
+        ):
+            self.skews_injected += 1
+            return self.skew_seconds
+        return 0.0
+
+    def summary(self) -> dict:
+        return {
+            "refresh_failures_injected": self.refresh_failures_injected,
+            "injected_nans": self.injected_nans,
+            "stalls_injected": self.stalls_injected,
+            "skews_injected": self.skews_injected,
+        }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,157 @@
+"""Circuit breaker for the ingest path: closed → open → half-open.
+
+A poisoned ingest stream — NaN losses that the
+:class:`~repro.resilience.NonFiniteGuard` keeps skipping, or facts whose
+ids fall outside the model vocabulary — must not be allowed to burn
+compute and lock time on the shared model while the query path is
+serving.  The breaker watches ingest outcomes:
+
+* **closed** (normal): calls flow; ``failure_threshold`` *consecutive*
+  failures trip it open.
+* **open**: calls are refused outright (the server surfaces a
+  503-style refusal without touching the model).  After
+  ``recovery_seconds`` the next :meth:`allow` moves to half-open.
+* **half-open**: up to ``half_open_probes`` trial calls are admitted.
+  Any failure re-opens the breaker (and restarts the recovery clock);
+  ``half_open_probes`` consecutive successes close it.
+
+The clock is injectable so the chaos harness and the tests drive
+recovery deterministically, and every transition is reported through
+``on_transition(old, new, reason)`` — the server turns those into
+``breaker_transition`` run-report events whose legality
+``scripts/check_run_health.py`` verifies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Legal state-machine edges, the invariant the health check replays.
+LEGAL_TRANSITIONS = {
+    (STATE_CLOSED, STATE_OPEN),
+    (STATE_OPEN, STATE_HALF_OPEN),
+    (STATE_HALF_OPEN, STATE_CLOSED),
+    (STATE_HALF_OPEN, STATE_OPEN),
+}
+
+
+class CircuitOpenError(RuntimeError):
+    """An ingest call refused because the breaker is open."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with clock-driven half-open recovery."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_seconds: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_refused = 0
+        self.transitions = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: str, reason: str) -> None:
+        old = self.state
+        if old == new_state:
+            return
+        if (old, new_state) not in LEGAL_TRANSITIONS:
+            raise RuntimeError(f"illegal breaker transition {old} -> {new_state}")
+        self.state = new_state
+        self.transitions += 1
+        if new_state == STATE_OPEN:
+            self._opened_at = self._clock()
+            self.consecutive_failures = 0
+        if new_state == STATE_HALF_OPEN:
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if new_state == STATE_CLOSED:
+            self.consecutive_failures = 0
+        if self.on_transition is not None:
+            self.on_transition(old, new_state, reason)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a call proceed right now?  (May move open → half-open.)
+
+        Refused calls are counted on :attr:`total_refused`.
+        """
+        with self._lock:
+            if self.state == STATE_OPEN:
+                opened = self._opened_at if self._opened_at is not None else 0.0
+                if self._clock() - opened >= self.recovery_seconds:
+                    self._transition(STATE_HALF_OPEN, "recovery timeout elapsed")
+                else:
+                    self.total_refused += 1
+                    return False
+            if self.state == STATE_HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    self.total_refused += 1
+                    return False
+                self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self.state == STATE_HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._transition(STATE_CLOSED, "half-open probe(s) succeeded")
+            else:
+                self.consecutive_failures = 0
+
+    def record_failure(self, reason: str = "ingest failure") -> None:
+        with self._lock:
+            self.total_failures += 1
+            if self.state == STATE_HALF_OPEN:
+                self._transition(STATE_OPEN, f"half-open probe failed: {reason}")
+                return
+            self.consecutive_failures += 1
+            if (
+                self.state == STATE_CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(
+                    STATE_OPEN,
+                    f"{self.consecutive_failures} consecutive failures "
+                    f"(threshold {self.failure_threshold}): {reason}",
+                )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counters for health endpoints and metrics exports."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "total_failures": self.total_failures,
+                "total_refused": self.total_refused,
+                "transitions": self.transitions,
+            }

@@ -191,6 +191,18 @@ class TestCLI:
             json.dumps(summarize_run(read_events(path)), sort_keys=True)
         )
 
+    def test_report_on_zero_byte_file_fails_readably(self, tmp_path, capsys):
+        # A run killed before its first flush leaves a zero-byte report;
+        # `report` must say what is wrong, not crash or print an empty
+        # summary with exit 0.
+        path = str(tmp_path / "empty.jsonl")
+        with open(path, "wb"):
+            pass
+        assert main(["report", path]) == 1
+        err = capsys.readouterr().err
+        assert "contains no events" in err
+        assert path in err
+
     def test_hypergraph_command(self, capsys):
         assert main(["hypergraph", "--dataset", "YAGO", "--time", "2"]) == 0
         out = capsys.readouterr().out

@@ -255,6 +255,12 @@ def _one_of_each_event(reporter):
         relations={"0": {"MRR": 25.0, "count": 4}},
         timestamps={"9": {"MRR": 25.0, "count": 4}},
     )
+    reporter.emit("request", kind="score", status=200, staleness=0, latency_ms=1.5)
+    reporter.emit("shed", kind="score", reason="queue_full")
+    reporter.emit("refresh_retry", ts=9, attempt=1, outcome="ok", backoff_ms=5.0)
+    reporter.emit("breaker_transition", from_state="closed", to_state="open", reason="skips")
+    reporter.emit("degraded", ts=9, staleness=2, reason="refresh retries exhausted")
+    reporter.emit("drain", requests=1, shed=1, errors=0, deadline_exceeded=0, clean=True)
     reporter.emit("run_end", status="completed", epochs_completed=1)
 
 

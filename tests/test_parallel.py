@@ -9,6 +9,7 @@ GracefulInterrupt escalation) are covered here too.
 
 import copy
 import io
+import os
 import pickle
 import signal
 import threading
@@ -480,3 +481,76 @@ class TestGracefulInterrupt:
         thread.start()
         thread.join()
         assert captured == {"triggered": False, "ok": True}
+
+
+# ----------------------------------------------------------------------
+# Worker death and worker exceptions surface as ShardedEvalError
+# ----------------------------------------------------------------------
+class KilledInWorker(RETIA):
+    """SIGKILLs its own process the first time it scores off the parent.
+
+    Module-level (not a closure) so the pool can ship it to workers; the
+    parent pid is captured at construction, so only forked children die.
+    """
+
+    def __init__(self, config):
+        super().__init__(config)
+        self._parent_pid = os.getpid()
+
+    def predict_entities(self, queries, ts):
+        if os.getpid() != self._parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().predict_entities(queries, ts)
+
+
+class ExplodesInWorker(RETIA):
+    """Raises from ``predict_entities`` only inside a pool worker."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self._parent_pid = os.getpid()
+
+    def predict_entities(self, queries, ts):
+        if os.getpid() != self._parent_pid:
+            raise RuntimeError("worker exploded on purpose")
+        return super().predict_entities(queries, ts)
+
+
+def _revealed(klass, train, valid):
+    model = klass(
+        RETIAConfig(
+            num_entities=20, num_relations=4, dim=8, history_length=2,
+            num_kernels=4, seed=0,
+        )
+    )
+    model.set_history(train)
+    for ts in valid.timestamps:
+        model.record_snapshot(valid.snapshot(int(ts)))
+    model.eval()
+    return model
+
+
+class TestShardedEvalWorkerFailures:
+    def test_killed_worker_raises_naming_shard_and_timeout(self, splits):
+        # A SIGKILLed pool worker loses its task *silently* — pool.map
+        # would hang forever.  The per-block timeout must convert that
+        # into a ShardedEvalError naming the shard and its timestamps.
+        train, valid, test = splits
+        model = _revealed(KilledInWorker, train, valid)
+        with pytest.raises(ShardedEvalError, match="produced no result within") as e:
+            evaluate_extrapolation_sharded(
+                model, test, workers=2, shard_timeout=2.0
+            )
+        message = str(e.value)
+        assert "shard block" in message
+        assert "timestamps" in message
+        assert "workers=1" in message  # the remediation hint
+
+    def test_worker_exception_wrapped_with_shard_context(self, splits):
+        train, valid, test = splits
+        model = _revealed(ExplodesInWorker, train, valid)
+        with pytest.raises(
+            ShardedEvalError, match="worker exploded on purpose"
+        ) as e:
+            evaluate_extrapolation_sharded(model, test, workers=2)
+        assert "failed in a pool worker: RuntimeError" in str(e.value)

@@ -9,6 +9,7 @@ sentinels leaving parameters finite and unchanged.
 
 import os
 import signal
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -163,6 +164,27 @@ class TestCheckpointManager:
         flip_bit(manager.save(RunState()))
         with pytest.raises(CheckpointCorruptError):
             manager.load_latest()
+
+    def test_every_checkpoint_corrupt_one_error_naming_all_of_them(self, tmp_path):
+        # Three checkpoints, three different corruptions (bit flip,
+        # truncation, zero-byte file): the fallback chain must exhaust
+        # them and raise ONE error that names every failed candidate,
+        # not the IndexError/last-exception of whichever died last.
+        manager = CheckpointManager(str(tmp_path), keep=3)
+        flipped = manager.save(RunState(epoch=1))
+        truncated = manager.save(RunState(epoch=2))
+        emptied = manager.save(RunState(epoch=3))
+        flip_bit(flipped)
+        truncate_file(truncated, fraction=0.5)
+        with open(emptied, "wb"):
+            pass  # zero-byte: flip_bit/truncate can't make this one
+        with pytest.raises(
+            CheckpointCorruptError, match="every checkpoint failed verification"
+        ) as excinfo:
+            manager.load_latest()
+        message = str(excinfo.value)
+        for path in (flipped, truncated, emptied):
+            assert Path(path).name in message
 
     def test_empty_directory_raises_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError):
