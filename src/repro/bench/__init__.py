@@ -28,6 +28,7 @@ from repro.bench.runner import (
     benchmark_decoder,
     benchmark_encoder,
     benchmark_eval,
+    benchmark_scale,
     get_trained,
     retia_variant,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "benchmark_decoder",
     "benchmark_encoder",
     "benchmark_eval",
+    "benchmark_scale",
     "component_key",
     "detect_regression",
     "get_trained",

@@ -41,6 +41,7 @@ KEY_ENCODER = "encoder_seconds_per_step"
 KEY_DECODER = "decoder_seconds_per_step"
 KEY_EVAL = "eval_seconds_per_step"
 KEY_SERVE = "serve_mean_seconds"
+KEY_SCALE = "scale_seconds_per_step"
 KEY_FULL = "seconds_per_step"
 
 #: Component-specific timing key per benchmark name.  Eval entries carry
@@ -51,11 +52,15 @@ KEY_FULL = "seconds_per_step"
 #: p50/p99 of an open-loop drill are order-statistics of ~100 samples
 #: and swing 1.4x run to run — a gate on them would flake.  The p50/p99
 #: SLO figures still ride along in every entry for trend inspection.
+#: Scale entries (large-vocabulary memmap eval) carry ``entities``,
+#: ``scorer`` and ``workers`` fields; like eval, comparisons must
+#: prefilter on them — different strategies are different series.
 COMPONENT_KEYS = {
     "encoder": KEY_ENCODER,
     "decoder": KEY_DECODER,
     "eval": KEY_EVAL,
     "serve": KEY_SERVE,
+    "scale": KEY_SCALE,
 }
 
 

@@ -18,6 +18,7 @@ reproduction target, not absolute numbers.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
@@ -76,6 +77,9 @@ BENCH_PROFILES: Dict[str, BenchProfile] = {
     "ICEWS18": BenchProfile(),
     "YAGO": BenchProfile(),
     "WIKI": BenchProfile(),
+    # Entity-axis stress profile (repro.scale): a deliberately small
+    # model so the measured cost is the candidate axis, not the encoder.
+    "ICEWS-SCALE": BenchProfile(dim=16, history_length=2, num_kernels=6),
 }
 
 #: Methods evaluated with online continuous training, per the paper
@@ -575,6 +579,151 @@ def benchmark_eval(
             extra["injected_sleep"] = per_step_sleep
         append_entry(history_path, make_entry(result, name="eval", extra=extra))
     return result
+
+
+def _peak_rss_mb() -> float:
+    """Lifetime peak RSS of this process and its reaped children, in MB.
+
+    ``ru_maxrss`` is a high-water mark that cannot be reset, and the
+    blocked-scorer allocations of a sharded eval happen in fork-pool
+    workers — so the honest figure is the max over SELF and CHILDREN,
+    read *after* the measured phase.
+    """
+    import resource
+
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    # Linux reports kilobytes; macOS reports bytes.
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def benchmark_scale(
+    dataset_name: str = "ICEWS-SCALE",
+    workers: int = 2,
+    seed: int = 0,
+    dtype: str = "float64",
+    scorer: str = "blocked:128:8192",
+    spill: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    reporter=None,
+    history_path: Optional[str] = None,
+) -> Dict:
+    """Time large-vocabulary eval through the memmap + blocked-scorer path.
+
+    The honest large-N serving shape (DESIGN.md §9): evolve the history
+    window *once*, spill the evolved entity/relation stacks to ``.npy``
+    tables (:class:`repro.scale.EmbeddingStore` memmaps, unless
+    ``spill=False``), then run the sharded evaluation protocol against a
+    :class:`repro.scale.FrozenWindowModel` whose candidate scoring
+    streams blocks off the tables.  The full ``(queries, entities)``
+    score matrix never exists, so peak RSS stays bounded while the
+    entity axis grows — ``peak_rss_mb`` (self + pool children) and
+    ``scale_seconds_per_step`` are the figures
+    ``scripts/check_scale_gate.py`` budgets.
+
+    Relation-task scoring is skipped: its candidate axis is M, not N,
+    and it would only add encoder-shaped noise to an entity-axis gate.
+    """
+    import tempfile
+
+    from repro.parallel import evaluate_extrapolation_sharded
+    from repro.scale import FrozenWindowModel, get_scorer
+
+    dataset = bench_dataset(dataset_name)
+    profile = BENCH_PROFILES[dataset_name]
+    model = RETIA(build_retia_config(dataset, profile, seed=seed, dtype=dtype))
+    model.set_history(dataset.train)
+    for t in dataset.valid.timestamps:
+        model.record_snapshot(dataset.valid.snapshot(int(t)))
+    model.eval()
+
+    first_ts = int(dataset.test.timestamps[0])
+    strategy = get_scorer(scorer)
+    with tempfile.TemporaryDirectory(prefix="repro-scale-") as spill_dir:
+        freeze_start = time.perf_counter()
+        frozen = FrozenWindowModel.freeze(
+            model,
+            first_ts,
+            spill_dir=spill_dir if spill else None,
+            scorer=strategy,
+        )
+        freeze_seconds = time.perf_counter() - freeze_start
+        del model  # the encoder is out of the loop from here on
+
+        start = time.perf_counter()
+        result_eval = evaluate_extrapolation_sharded(
+            frozen,
+            dataset.test,
+            evaluate_relations=False,
+            workers=workers,
+            reporter=reporter,
+            registry=registry,
+        )
+        total = time.perf_counter() - start
+        peak_rss_mb = _peak_rss_mb()
+
+    steps = max(1, len(dataset.test.timestamps))
+    result = {
+        "dataset": dataset_name,
+        "steps": len(dataset.test.timestamps),
+        "dtype": dtype,
+        "workers": workers,
+        "cpus": os.cpu_count() or 1,
+        "entities": dataset.num_entities,
+        "scorer": frozen.scorer.spec(),
+        "spill": bool(spill),
+        "freeze_seconds": freeze_seconds,
+        "scale_seconds_per_step": total / steps,
+        "total_seconds": total,
+        "seconds_per_step": total / steps,
+        "peak_rss_mb": peak_rss_mb,
+        "entity_mrr": result_eval.entity.get("MRR"),
+    }
+    if registry is not None:
+        record_scale_metrics(registry, result)
+    if reporter is not None:
+        scratch = registry if registry is not None else MetricsRegistry()
+        if registry is None:
+            record_scale_metrics(scratch, result)
+        reporter.emit("bench", name="scale", metrics=scratch.to_dict(), result=result)
+    if history_path is not None:
+        from repro.bench.history import append_entry, make_entry
+
+        extra = {
+            "workers": workers,
+            "cpus": result["cpus"],
+            "entities": result["entities"],
+            "scorer": result["scorer"],
+            "spill": result["spill"],
+            "peak_rss_mb": peak_rss_mb,
+        }
+        append_entry(history_path, make_entry(result, name="scale", extra=extra))
+    return result
+
+
+def record_scale_metrics(registry: MetricsRegistry, result: Dict) -> None:
+    """Write one :func:`benchmark_scale` result into ``registry``."""
+    labels = {
+        "dataset": result["dataset"],
+        "dtype": result["dtype"],
+        "workers": str(result["workers"]),
+        "scorer": result["scorer"],
+    }
+    registry.gauge(
+        "scale_seconds_per_step",
+        help="large-vocabulary memmap eval wall-clock per test timestamp",
+    ).set(result["scale_seconds_per_step"], **labels)
+    registry.gauge(
+        "scale_peak_rss_mb",
+        help="peak RSS (self + pool children) over the memmap eval",
+    ).set(result["peak_rss_mb"], **labels)
+    registry.counter("bench_steps_total", help="timed eval timestamps").inc(
+        result["steps"], **labels
+    )
 
 
 def record_eval_metrics(registry: MetricsRegistry, result: Dict) -> None:

@@ -40,11 +40,23 @@ import tempfile
 import numpy as np
 
 from repro.core import RETIA, RETIAConfig, Trainer, TrainerConfig
-from repro.datasets import DATASET_PROFILES, dataset_statistics, load_dataset
+from repro.datasets import (
+    DATASET_PROFILES,
+    SCALE_PROFILES,
+    dataset_statistics,
+    load_dataset,
+)
 from repro.eval import format_diagnostics, known_entities_of
 from repro.graph import build_hyperrelation_graph
 from repro.io import load_checkpoint, save_checkpoint
-from repro.obs import ProbeConfig, ReportError, RunReporter, read_events, summarize_run
+from repro.obs import (
+    SCHEMA_VERSION,
+    ProbeConfig,
+    ReportError,
+    RunReporter,
+    read_events,
+    summarize_run,
+)
 from repro.resilience import (
     EXIT_RESUMABLE,
     CheckpointManager,
@@ -60,7 +72,7 @@ def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset",
         required=True,
-        choices=sorted(DATASET_PROFILES),
+        choices=sorted(DATASET_PROFILES) + sorted(SCALE_PROFILES),
         help="synthetic benchmark surrogate to use",
     )
 
@@ -156,7 +168,39 @@ def _load_eval_model(args: argparse.Namespace):
     for t in dataset.valid.timestamps:
         model.observe(dataset.valid.snapshot(int(t)))
     model.eval()
+    if getattr(args, "scorer", None):
+        model.set_scorer(args.scorer)
     return dataset, model
+
+
+def _open_eval_report(args: argparse.Namespace, command: str):
+    """A run reporter framed with ``run_start`` (None without --run-report).
+
+    ``scripts/check_run_health.py`` requires ``run_start``/``run_end``
+    around every event stream; eval-family reports carry the scorer spec
+    in their config so a refused mixed-strategy comparison also names
+    what the run intended.
+    """
+    if not args.run_report:
+        return None
+    reporter = RunReporter(args.run_report)
+    reporter.emit(
+        "run_start",
+        schema_version=SCHEMA_VERSION,
+        command=command,
+        config={
+            "dataset": args.dataset,
+            "workers": args.eval_workers,
+            "scorer": getattr(args, "scorer", None) or "legacy",
+        },
+    )
+    return reporter
+
+
+def _close_eval_report(reporter, status: str) -> None:
+    if reporter is not None:
+        reporter.emit("run_end", status=status, epochs_completed=0)
+        reporter.close()
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -169,7 +213,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     dataset, model = _load_eval_model(args)
     if model is None:
         return 1
-    reporter = RunReporter(args.run_report) if args.run_report else None
+    reporter = _open_eval_report(args, "evaluate")
+    status = "failed"
     try:
         if args.online:
             trainer = Trainer(model, TrainerConfig(online_steps=args.online_steps))
@@ -195,12 +240,12 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 target, dataset.test, workers=args.eval_workers, reporter=reporter
             )
             entity, relation = result.entity, result.relation
+        status = "completed"
     except ShardedEvalError as exc:
         print(f"sharded evaluation refused: {exc}", file=sys.stderr)
         return 2
     finally:
-        if reporter is not None:
-            reporter.close()
+        _close_eval_report(reporter, status)
     print("entity  :", {k: round(v, 2) for k, v in entity.items()})
     print("relation:", {k: round(v, 2) for k, v in relation.items()})
     if args.diagnostics:
@@ -215,7 +260,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     dataset, model = _load_eval_model(args)
     if model is None:
         return 1
-    reporter = RunReporter(args.run_report) if args.run_report else None
+    reporter = _open_eval_report(args, "diagnose")
+    status = "failed"
     try:
         report = diagnose_extrapolation_sharded(
             model,
@@ -224,12 +270,12 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
             workers=args.eval_workers,
             reporter=reporter,
         )
+        status = "completed"
     except ShardedEvalError as exc:
         print(f"sharded evaluation refused: {exc}", file=sys.stderr)
         return 2
     finally:
-        if reporter is not None:
-            reporter.close()
+        _close_eval_report(reporter, status)
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -243,6 +289,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         benchmark_decoder,
         benchmark_encoder,
         benchmark_eval,
+        benchmark_scale,
         component_key,
         detect_regression,
         make_entry,
@@ -264,6 +311,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # Likewise, a chaos drill and a clean run are different series.
         baseline_entries = [
             e for e in baseline_entries if bool(e.get("chaos")) == args.chaos
+        ]
+    elif component == "scale":
+        # Scale entries are a series per (workers, scorer strategy):
+        # a top-k run and a blocked run have different cost shapes.
+        from repro.scale import get_scorer
+
+        strategy = get_scorer(args.scorer or "blocked:128:8192")
+        scale_spec = strategy.spec() if strategy is not None else "dense"
+        baseline_entries = [
+            e
+            for e in baseline_entries
+            if e.get("workers") == args.eval_workers and e.get("scorer") == scale_spec
         ]
     results = []
     for repeat in range(args.repeats):
@@ -290,6 +349,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 dtype=args.dtype,
                 per_step_sleep=args.inject_sleep_ms / 1000.0,
+            )
+        elif component == "scale":
+            result = benchmark_scale(
+                args.dataset,
+                workers=args.eval_workers,
+                seed=args.seed,
+                dtype=args.dtype,
+                scorer=args.scorer or "blocked:128:8192",
             )
         else:
             result = benchmark_encoder(
@@ -323,6 +390,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if component == "eval":
                 extra["workers"] = result["workers"]
                 extra["cpus"] = result["cpus"]
+            elif component == "scale":
+                for field in ("workers", "cpus", "entities", "scorer", "spill", "peak_rss_mb"):
+                    extra[field] = result[field]
             elif component == "serve":
                 extra["chaos"] = result["chaos"]
                 extra["offered_qps"] = result["offered_qps"]
@@ -735,6 +805,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes sharding the test timestamps (metrics are "
         "bit-identical for every worker count)",
     )
+    evaluate.add_argument(
+        "--scorer",
+        default=None,
+        help="candidate scoring strategy (legacy, dense, blocked[:QB[:CB]], "
+        "topk:K, history:BUDGET); default: the legacy dense decode. "
+        "The choice is recorded in run-report events, and "
+        "check_run_health.py refuses reports mixing strategies",
+    )
     evaluate.set_defaults(handler=cmd_evaluate)
 
     diagnose = commands.add_parser(
@@ -759,6 +837,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes sharding the test timestamps (the decomposition "
         "is bit-identical for every worker count)",
     )
+    diagnose.add_argument(
+        "--scorer",
+        default=None,
+        help="candidate scoring strategy (legacy, dense, blocked[:QB[:CB]], "
+        "topk:K, history:BUDGET); default: the legacy dense decode",
+    )
     diagnose.set_defaults(handler=cmd_diagnose)
 
     bench = commands.add_parser(
@@ -767,11 +851,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_argument(bench)
     bench.add_argument(
         "--component",
-        choices=("encoder", "decoder", "eval", "serve"),
+        choices=("encoder", "decoder", "eval", "serve", "scale"),
         default="encoder",
         help="which component to time and gate on (eval: the full "
         "sharded evaluation protocol at --eval-workers; serve: the "
-        "loadgen drill against the model server, gated on p99 latency)",
+        "loadgen drill against the model server, gated on p99 latency; "
+        "scale: large-vocabulary memmap eval through the candidate "
+        "scorer seam — pair with --dataset ICEWS-SCALE)",
+    )
+    bench.add_argument(
+        "--scorer",
+        default=None,
+        help="candidate scorer spec for --component scale "
+        "(e.g. blocked:128:8192, topk:50, history:2000; "
+        "default blocked:128:8192)",
     )
     bench.add_argument(
         "--chaos",

@@ -177,6 +177,22 @@ class RETIA(Module):
         self._version = 0
         self.static_constraint = None
         self.static_weight = 0.0
+        # Candidate-scoring strategy for entity ranking (repro.scale).
+        # None keeps the legacy dense matmul path bit-for-bit.
+        self.scorer = None
+
+    def set_scorer(self, scorer) -> None:
+        """Select the candidate-scoring strategy for entity ranking.
+
+        Accepts a :class:`repro.scale.CandidateScorer`, a spec string
+        (``"dense"``, ``"blocked[:QB[:CB]]"``, ``"topk:K"``,
+        ``"history:BUDGET"``) or ``None``/``"legacy"`` to restore the
+        default dense matmul path.  See DESIGN.md §9 for when each
+        strategy preserves exact metrics.
+        """
+        from repro.scale.scorers import get_scorer
+
+        self.scorer = get_scorer(scorer)
 
     def attach_static_constraint(self, constraint, weight: float = 1.0) -> None:
         """Add RE-GCN-style static graph constraints to the training loss.
@@ -440,6 +456,78 @@ class RETIA(Module):
         if was_training:
             self.train()
         return self._sum_probs(probs)
+
+    def rank_entities(
+        self,
+        queries: np.ndarray,
+        targets: np.ndarray,
+        ts: int,
+        mask: Optional[np.ndarray] = None,
+        dedup: bool = True,
+    ) -> np.ndarray:
+        """Average-tie gold ranks for entity queries at timestamp ``ts``.
+
+        The seam the evaluation protocol ranks through.  Without a
+        configured scorer this *is* the historical protocol code —
+        dedup, :meth:`predict_entities`, scatter,
+        :func:`~repro.eval.metrics.ranks_from_scores` — bit for bit.
+        With one, query representations are built once (same gathers
+        and stacked decoder pass as the dense path) and the strategy
+        streams candidate scoring, so the full ``(B, N)`` score matrix
+        need never exist.  ``mask`` uses the filtered-setting
+        convention: ``True`` excludes a candidate, targets never are.
+        """
+        from repro.eval.metrics import ranks_from_scores
+
+        queries = np.asarray(queries, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        scorer = self.scorer
+        if scorer is None:
+            if dedup:
+                unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
+                # return_inverse shape for axis-unique varies across numpy 2.x.
+                scores = self.predict_entities(unique_queries, ts)[inverse.ravel()]
+            else:
+                scores = self.predict_entities(queries, ts)
+            return ranks_from_scores(scores, targets, mask)
+
+        if dedup:
+            unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
+            inverse = inverse.ravel()
+        else:
+            unique_queries, inverse = queries, None
+        entity_list, relation_list = self._evolved_for(ts)
+        if not self.config.time_variability:
+            entity_list, relation_list = entity_list[-1:], relation_list[-1:]
+        was_training = self.training
+        self.eval()
+        with no_grad(), self._dtype_policy:
+            # Same gathers and batched decoder pass as
+            # _entity_probabilities' fast path (queries_stacked is
+            # bitwise identical to the per-snapshot loop in eval mode).
+            snaps = len(entity_list)
+            t_rows = np.arange(snaps)[:, None]
+            entities = F.stack(entity_list)
+            relations = F.stack(relation_list)
+            subj = entities[(t_rows, unique_queries[:, 0][None, :])]
+            rel = relations[(t_rows, unique_queries[:, 1][None, :])]
+            reps = self.entity_decoder.queries_stacked(subj, rel).data
+            candidates = [e.data for e in entity_list]
+        if was_training:
+            self.train()
+        if getattr(scorer, "needs_history", False):
+            # The candidate index wants the full reveal stream, not the
+            # encoder's last-k window.
+            revealed = [self._history[t] for t in sorted(self._history) if t < ts]
+            scorer.sync_history(revealed, self.config.num_relations)
+        return scorer.ranks(
+            reps,
+            candidates,
+            targets,
+            mask=mask,
+            inverse=inverse,
+            query_ids=unique_queries,
+        )
 
     def predict_relations(self, pairs: np.ndarray, ts: int) -> np.ndarray:
         """Summed per-snapshot probabilities for all M relations."""

@@ -162,8 +162,15 @@ def _bounded() -> RankAccumulator:
     return RankAccumulator(bounded=True)
 
 
-def emit_diagnostic_event(reporter, report: DiagnosticsReport) -> None:
-    """One schema-validated ``diagnostic`` event for ``report``."""
+def emit_diagnostic_event(
+    reporter, report: DiagnosticsReport, scorer: str = "dense"
+) -> None:
+    """One schema-validated ``diagnostic`` event for ``report``.
+
+    ``scorer`` records the candidate-scoring strategy the ranks came
+    from; ``check_run_health.py`` refuses runs whose events mix
+    strategies (approximate ranks must never be compared to exact ones).
+    """
     reporter.emit(
         "diagnostic",
         task="entity",
@@ -174,6 +181,7 @@ def emit_diagnostic_event(reporter, report: DiagnosticsReport) -> None:
         seen=report.seen,
         unseen=report.unseen,
         relation_aggregate=report.relation_aggregate,
+        scorer=scorer,
     )
 
 
@@ -222,7 +230,12 @@ def diagnose_extrapolation(
 
     report = accumulators.report(setting, evaluate_relations)
     if reporter is not None:
-        emit_diagnostic_event(reporter, report)
+        model_scorer = getattr(model, "scorer", None)
+        emit_diagnostic_event(
+            reporter,
+            report,
+            scorer=model_scorer.spec() if model_scorer is not None else "dense",
+        )
     return report
 
 

@@ -77,22 +77,30 @@ def score_timestamp(
         [np.stack([s, r], axis=1), np.stack([o, r + num_relations], axis=1)]
     )
     targets = np.concatenate([o, s])
-    if dedup:
-        # A (subject, relation) pair with several true objects appears
-        # once per object; the model scores depend only on the pair, so
-        # score each distinct query once and scatter the rows back.
-        unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
-        # return_inverse shape for axis-unique varies across numpy 2.x.
-        scores = model.predict_entities(unique_queries, ts)[inverse.ravel()]
-    else:
-        scores = model.predict_entities(queries, ts)
     # Raw ranking never uses a mask, so skip building one even when a
     # FilterIndex was supplied.
     if setting == "raw":
         mask = None
     else:
         mask = filter_index.mask(queries, ts, setting)
-    entity_ranks = ranks_from_scores(scores, targets, mask)
+    if hasattr(model, "rank_entities"):
+        # The candidate-scorer seam (repro.scale): the model ranks the
+        # gold entities itself, so a blocked/top-k strategy can stream
+        # candidate scoring instead of materialising the (B, N) score
+        # matrix here.  Without a configured scorer this is the exact
+        # code below, bit for bit.
+        entity_ranks = model.rank_entities(queries, targets, ts, mask=mask, dedup=dedup)
+    else:
+        if dedup:
+            # A (subject, relation) pair with several true objects appears
+            # once per object; the model scores depend only on the pair, so
+            # score each distinct query once and scatter the rows back.
+            unique_queries, inverse = np.unique(queries, axis=0, return_inverse=True)
+            # return_inverse shape for axis-unique varies across numpy 2.x.
+            scores = model.predict_entities(unique_queries, ts)[inverse.ravel()]
+        else:
+            scores = model.predict_entities(queries, ts)
+        entity_ranks = ranks_from_scores(scores, targets, mask)
 
     relation_ranks = None
     if evaluate_relations:

@@ -92,6 +92,18 @@ def _require_shardable(model: ExtrapolationModel, observe: bool, workers: int) -
         )
 
 
+def _scorer_spec(model) -> str:
+    """The model's candidate-scorer spec for telemetry.
+
+    The legacy matmul path (no scorer configured) reports as
+    ``"dense"`` — it scores every candidate exactly, same contract as
+    the seam's dense reference.  ``check_run_health.py`` refuses runs
+    that mix distinct specs, so every eval event must carry one.
+    """
+    scorer = getattr(model, "scorer", None)
+    return scorer.spec() if scorer is not None else "dense"
+
+
 def _pool_context():
     """Prefer fork (cheap, inherits the payload); fall back to spawn."""
     methods = multiprocessing.get_all_start_methods()
@@ -128,7 +140,9 @@ def _init_eval_worker(payload: dict) -> None:
     _WORKER_STATE.update(payload)
 
 
-def _score_block(block: Tuple[int, List[int]]) -> Tuple[int, List[TimestampScores], dict]:
+def _score_block(
+    block: Tuple[int, List[int]],
+) -> Tuple[int, List[TimestampScores], dict]:
     """Score one contiguous run of timestamp shards (one pool task)."""
     block_index, timestamps = block
     state = _WORKER_STATE
@@ -155,6 +169,7 @@ def _score_block(block: Tuple[int, List[int]]) -> Tuple[int, List[TimestampScore
         "seconds": time.perf_counter() - start,
         "shards": len(scored),
         "queries": queries,
+        "scorer": _scorer_spec(model),
     }
     return block_index, scored, telemetry
 
@@ -221,6 +236,7 @@ def _score_all(
                 "seconds": time.perf_counter() - start,
                 "shards": len(scored),
                 "queries": queries,
+                "scorer": _scorer_spec(model),
             }
         ]
         return scored, telemetry
@@ -301,6 +317,11 @@ def _emit_worker_telemetry(
 ) -> None:
     for stats in telemetry:
         if reporter is not None:
+            extra = {}
+            if "scorer" in stats:
+                # Recorded so check_run_health.py can refuse comparisons
+                # that mix candidate-scorer strategies.
+                extra["scorer"] = stats["scorer"]
             reporter.emit(
                 "worker",
                 scope=scope,
@@ -309,6 +330,7 @@ def _emit_worker_telemetry(
                 seconds=stats["seconds"],
                 pid=stats.get("pid"),
                 queries=stats.get("queries"),
+                **extra,
             )
         if registry is not None:
             labels = {"scope": scope, "worker": str(stats["worker"])}
@@ -405,5 +427,5 @@ def diagnose_extrapolation_sharded(
     report = accumulators.report(setting, evaluate_relations)
     _emit_worker_telemetry(telemetry, "eval", reporter=reporter, registry=registry)
     if reporter is not None:
-        emit_diagnostic_event(reporter, report)
+        emit_diagnostic_event(reporter, report, scorer=_scorer_spec(model))
     return report

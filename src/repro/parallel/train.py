@@ -58,7 +58,12 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph import Snapshot
-from repro.parallel.plan import reseed_generators, shard_bounds, tree_reduce, tree_reduce_arrays
+from repro.parallel.plan import (
+    reseed_generators,
+    shard_bounds,
+    tree_reduce,
+    tree_reduce_arrays,
+)
 
 
 class ShardedLoss:

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.graph import Snapshot
 from repro.obs import SCHEMA_VERSION, MetricsRegistry, RunReporter
+from repro.scale import get_scorer, select_topk
 from repro.serve.batcher import (
     DeadlineExceeded,
     MicroBatcher,
@@ -161,6 +162,7 @@ class ModelServer:
         registry: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
         fault_injector=None,
+        scorer=None,
     ):
         self.model = model
         self.adapter = adapter
@@ -169,6 +171,9 @@ class ModelServer:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.clock = clock
         self.fault_injector = fault_injector
+        # Candidate-scoring strategy for the decode path (repro.scale);
+        # None keeps the legacy dense matmul, bit for bit.
+        self.scorer = get_scorer(scorer)
         self.store = SnapshotStore()
         self.counters = _Counters()
         self._model_lock = threading.RLock()
@@ -342,7 +347,7 @@ class ModelServer:
             self.fault_injector.on_score_batch(index)
         snapshot, _ = self.store.current()
         with self._model_lock:
-            return score_entities(self.model, snapshot, rows)
+            return score_entities(self.model, snapshot, rows, scorer=self.scorer)
 
     def _deadline_for(self, deadline_ms: Optional[float], request_index: int) -> float:
         budget_ms = (
@@ -379,7 +384,9 @@ class ModelServer:
         )
         if response.ok:
             scores = response.scores[0]
-            order = np.argsort(-scores)[:k]
+            # Deterministic selection shared with the scorer seam:
+            # descending score, ties broken by ascending entity id.
+            order = select_topk(scores, k)
             response.topk_entities = order
             response.topk_scores = scores[order]
             response.scores = None
@@ -694,5 +701,11 @@ class ModelServer:
 
 
 def topk_entities(scores: np.ndarray, k: int) -> List[int]:
-    """Utility: indices of the ``k`` best candidates of one score row."""
-    return list(np.argsort(-np.asarray(scores))[:k])
+    """Utility: indices of the ``k`` best candidates of one score row.
+
+    Routes through :func:`repro.scale.select_topk`, the same
+    deterministic selection the serving ``topk`` endpoint and the top-k
+    scorer strategy use (ties broken by ascending entity id, not by the
+    sort algorithm's internals).
+    """
+    return list(select_topk(np.asarray(scores), k))

@@ -15,7 +15,7 @@ from repro.bench.history import (
     write_summary,
 )
 from repro.bench.runner import METHOD_BUILDERS, ONLINE_METHODS
-from repro.datasets import DATASET_PROFILES
+from repro.datasets import DATASET_PROFILES, SCALE_PROFILES
 
 
 class TestRegistry:
@@ -24,7 +24,7 @@ class TestRegistry:
             assert method in METHOD_BUILDERS
 
     def test_profiles_cover_all_datasets(self):
-        assert set(BENCH_PROFILES) == set(DATASET_PROFILES)
+        assert set(BENCH_PROFILES) == set(DATASET_PROFILES) | set(SCALE_PROFILES)
 
     def test_online_methods_follow_paper(self):
         # The paper reports CEN under the online setting and RETIA always
