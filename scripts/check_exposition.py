@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""CI scrape gate: validate a Prometheus text-format exposition file.
+
+The ``serve-chaos`` job scrapes ``telemetry.prom`` (published atomically
+by ``repro.obs.TelemetrySink``) mid-run and again after drain, then runs
+this validator over both.  It is deliberately a *minimal independent
+parser* — it shares no code with ``repro.obs.exposition``, so a bug that
+makes the renderer emit garbage cannot also hide in the checker:
+
+* every sample line parses (``name{labels} value``) and every sample's
+  family has a ``# TYPE`` comment;
+* histogram families are internally consistent: ``_bucket`` cumulative
+  counts are non-decreasing in ``le`` order, the ``+Inf`` bucket equals
+  ``_count``, and ``_count``/``_sum`` are present;
+* counter samples are finite and non-negative (gauges may be anything
+  finite; explicitly-named ``NaN`` is rejected everywhere — non-finite
+  observations are diverted to ``_nonfinite_total`` side counters, so a
+  NaN sample means the guard failed);
+* optionally, a list of metric family names that must be present.
+
+Usage:
+    python scripts/check_exposition.py telemetry.prom \
+        [--require serve_requests_total --require slo_burn_rate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: Suffixes that resolve a sample back to its histogram family name.
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name: str, types: dict) -> str:
+    """Map a sample name to its declared family (histograms expand)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def parse_labels(raw: str):
+    """``k="v"`` pairs; returns None when the block has trailing junk."""
+    labels = {}
+    consumed = 0
+    for match in LABEL_RE.finditer(raw):
+        labels[match.group(1)] = match.group(2)
+        consumed = match.end()
+        # Skip a single separating comma (trailing comma is legal).
+        rest = raw[consumed:]
+        if rest.startswith(","):
+            consumed += 1
+    if raw[consumed:].strip():
+        return None
+    return labels
+
+
+def check_exposition(text: str, required=()):
+    """All violations found in one exposition document (empty = ok)."""
+    problems = []
+    types = {}
+    helps = set()
+    samples = []  # (lineno, name, labels, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE comment")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP comment")
+                continue
+            helps.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        labels_raw = match.group("labels")
+        labels = parse_labels(labels_raw) if labels_raw else {}
+        if labels is None:
+            problems.append(f"line {lineno}: unparseable labels in {line!r}")
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        samples.append((lineno, match.group("name"), labels, value))
+
+    for lineno, name, labels, value in samples:
+        family = family_of(name, types)
+        mtype = types.get(family)
+        if mtype is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE comment "
+                f"for family {family!r}"
+            )
+            continue
+        if math.isnan(value):
+            problems.append(
+                f"line {lineno}: {name} is NaN (non-finite guard failed?)"
+            )
+        if mtype == "counter" and not (value >= 0 and math.isfinite(value)):
+            problems.append(
+                f"line {lineno}: counter {name} has illegal value {value}"
+            )
+
+    # Histogram internal consistency, per (family, non-le labels).
+    histograms = {}
+    for lineno, name, labels, value in samples:
+        family = family_of(name, types)
+        if types.get(family) != "histogram":
+            continue
+        key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+        entry = histograms.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if name.endswith("_bucket"):
+            entry["buckets"].append((lineno, labels.get("le", ""), value))
+        elif name.endswith("_sum"):
+            entry["sum"] = value
+        elif name.endswith("_count"):
+            entry["count"] = value
+    for (family, label_key), entry in sorted(histograms.items()):
+        where = f"histogram {family}{dict(label_key) or ''}"
+        if entry["count"] is None or entry["sum"] is None:
+            problems.append(f"{where}: missing _count or _sum sample")
+            continue
+        if not entry["buckets"]:
+            problems.append(f"{where}: no _bucket samples")
+            continue
+        previous = None
+        inf_count = None
+        for lineno, le, value in entry["buckets"]:
+            if previous is not None and value < previous:
+                problems.append(
+                    f"{where}: bucket counts not cumulative at le={le} "
+                    f"(line {lineno}: {value} < {previous})"
+                )
+            previous = value
+            if le in ("+Inf", "+inf"):
+                inf_count = value
+        if inf_count is None:
+            problems.append(f"{where}: missing +Inf bucket")
+        elif inf_count != entry["count"]:
+            problems.append(
+                f"{where}: +Inf bucket ({inf_count}) != _count ({entry['count']})"
+            )
+
+    present = {family_of(name, types) for _, name, _, _ in samples}
+    for name in required:
+        if name not in present:
+            problems.append(f"required metric family {name!r} is absent")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="exposition file (telemetry.prom)")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="metric family that must be present (repeatable)",
+    )
+    args = parser.parse_args()
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"FAIL: cannot read {args.path}: {exc}")
+        return 1
+    if not text.strip():
+        print(f"FAIL: {args.path} is empty")
+        return 1
+    problems = check_exposition(text, required=args.require)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    families = len(
+        {line.split()[2] for line in text.splitlines() if line.startswith("# TYPE ")}
+    )
+    print(f"OK: {args.path} is a valid exposition ({families} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

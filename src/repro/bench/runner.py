@@ -25,7 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro import timing
+from repro.obs import tracing
 from repro.obs import MetricsRegistry
 
 from repro.baselines import (
@@ -340,9 +340,9 @@ def benchmark_encoder(
             time.sleep(per_step_sleep)
     encoder_total = time.perf_counter() - encoder_start
 
-    timer = timing.PhaseTimer()
+    timer = tracing.PhaseTimer()
     start = time.perf_counter()
-    with timing.collect(timer):
+    with tracing.collect(timer):
         for snapshot in snapshots:
             joint, _, _ = model.loss_on_snapshot(snapshot)
             joint.backward()
@@ -457,9 +457,9 @@ def benchmark_decoder(
     decoder_total = time.perf_counter() - decoder_start
     del prepared
 
-    timer = timing.PhaseTimer()
+    timer = tracing.PhaseTimer()
     start = time.perf_counter()
-    with timing.collect(timer):
+    with tracing.collect(timer):
         for snapshot in snapshots:
             joint, _, _ = model.loss_on_snapshot(snapshot)
             joint.backward()

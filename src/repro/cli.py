@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 
@@ -563,10 +564,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     import threading
     import time
+    from contextlib import ExitStack
 
     from repro.bench.runner import BENCH_PROFILES, bench_dataset, build_retia_config
     from repro.core.trainer import OnlineAdapter
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, TelemetrySink, tracing
     from repro.resilience import GracefulInterrupt
     from repro.serve import (
         STATE_CLOSED,
@@ -578,6 +580,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         run_loadgen,
         summarize_responses,
     )
+    from repro.serve.loadgen import build_plans_traced
 
     dataset = bench_dataset(args.dataset)
     profile = BENCH_PROFILES[args.dataset]
@@ -592,6 +595,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     reporter = RunReporter(args.run_report) if args.run_report else None
     registry = MetricsRegistry()
     injector = default_chaos_plan() if args.chaos else None
+    # Chaos drills compress the SLO burn windows so the availability
+    # alert fires *and* resolves inside a ~1s CI run, and hold the
+    # breaker open longer so the bad-request burst is unmistakable.
+    slo_overrides = (
+        dict(
+            breaker_recovery_ms=200.0,
+            slo_fast_window_s=0.5,
+            slo_slow_window_s=2.0,
+            slo_fast_burn=1.0,
+            slo_slow_burn=1.0,
+        )
+        if args.chaos
+        else dict(breaker_recovery_ms=50.0)
+    )
     config = ServeConfig(
         max_batch=32,
         max_queue=128,
@@ -600,8 +617,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         refresh_attempts=3,
         refresh_backoff_ms=5.0,
         breaker_failure_threshold=3,
-        breaker_recovery_ms=50.0,
         seed=args.seed,
+        **slo_overrides,
     )
     server = ModelServer(
         model,
@@ -620,6 +637,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     responses = []
+    prebuilt = None
 
     def drive() -> None:
         responses.extend(
@@ -629,13 +647,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 dataset.num_relations,
                 ingest_snapshots=snapshots,
                 config=load,
+                prebuilt=prebuilt,
             )
         )
 
     clean = None
+    trace_collector = None
+    sink = None
     try:
-        with GracefulInterrupt() as interrupt:
+        with ExitStack() as stack, GracefulInterrupt() as interrupt:
+            if args.trace_out:
+                # One collector spans the whole drill; the forked
+                # planner and the batcher's request spans stitch into
+                # it so the Chrome trace shows every process.
+                trace_collector = tracing.SpanCollector()
+                stack.enter_context(tracing.collect_spans(trace_collector))
+                trace_root = stack.enter_context(
+                    tracing.span("serve", dataset=args.dataset, chaos=args.chaos)
+                )
+                server.trace_collector = trace_collector
+                server.trace_root = trace_root
+                arrivals, plans, tree = build_plans_traced(
+                    dataset.num_entities,
+                    dataset.num_relations,
+                    len(snapshots),
+                    load,
+                )
+                prebuilt = (arrivals, plans)
+                if tree is not None:
+                    trace_collector.splice(tree)
+                else:
+                    print(
+                        "warning: child planner unavailable; trace has "
+                        "one process only",
+                        file=sys.stderr,
+                    )
             server.start(ts=test_times[0])
+            if args.telemetry_dir:
+                os.makedirs(args.telemetry_dir, exist_ok=True)
+                sink = TelemetrySink(
+                    args.telemetry_dir, registry, slo_state=server.slo_state
+                )
+                sink.start()
             print(
                 f"serving {args.dataset}: {args.requests} requests at "
                 f"{args.qps:g} offered qps"
@@ -659,14 +712,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 # clean ingest drives open -> half-open -> closed.
                 time.sleep(config.breaker_recovery_ms / 1000.0 + 0.01)
                 server.ingest(snapshots[-1])
+                # Let the compressed burn windows decay so any firing
+                # alert resolves *naturally* (traffic stopped, burn
+                # rates fall) rather than by the drain's force-resolve.
+                deadline = time.monotonic() + 3.0
+                while time.monotonic() < deadline:
+                    state = server.check_slos()
+                    if not any(s["firing"] for s in state.values()):
+                        break
+                    time.sleep(0.05)
             wall = time.perf_counter() - start
             if clean is None:
                 clean = server.drain()
     finally:
         if clean is None:  # boot or loadgen blew up before a drain
             clean = server.drain()
+        if sink is not None:
+            sink.stop(final_write=True)
         if reporter is not None:
             reporter.close()
+
+    if args.trace_out and trace_collector is not None:
+        doc = tracing.to_chrome_trace(
+            trace_collector, pid=os.getpid(), process_name="repro-serve"
+        )
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        meta = doc["metadata"]
+        trace_pids = {
+            e.get("pid") for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        print(
+            f"trace: {args.trace_out}  spans: {meta['spans_recorded']}  "
+            f"dropped: {meta['spans_dropped']}  processes: {len(trace_pids)}"
+        )
 
     summary = summarize_responses(responses, wall) if responses else None
     if summary is None:
@@ -692,7 +771,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"staleness max: {summary['max_staleness']}  "
         f"breaker: {server.breaker.state}  "
-        f"store: v{server.store.describe()['version']}"
+        f"store: v{server.store.describe()['version']}  "
+        f"exemplars: {len(server.exemplars())}"
     )
     if injector is not None:
         faults = ", ".join(f"{k}={v}" for k, v in sorted(injector.summary().items()))
@@ -708,6 +788,109 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         failed = failed or not met
     return 1 if failed else 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail a ``--telemetry-dir`` into a terminal dashboard.
+
+    Reads the ``telemetry.json`` snapshot a :class:`TelemetrySink`
+    publishes atomically, derives QPS from ``serve_requests_total``
+    deltas between ticks and p50/p99 from the latency histogram
+    buckets, and prints one line per refresh plus the SLO burn rates.
+    Ctrl-C exits cleanly; ``--once`` prints a single snapshot (what the
+    CI scrape check uses).
+    """
+    import time
+
+    from repro.obs import JSON_FILENAME, histogram_quantile
+
+    path = os.path.join(args.directory, JSON_FILENAME)
+
+    def load():
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def family(doc, name):
+        for fam in (doc.get("metrics") or {}).get("metrics", []):
+            if fam["name"] == name:
+                return fam
+        return None
+
+    def counter_total(doc, name, **want):
+        fam = family(doc, name)
+        if fam is None:
+            return 0.0
+        total = 0.0
+        for series in fam["series"]:
+            labels = series.get("labels") or {}
+            if all(labels.get(k) == v for k, v in want.items()):
+                total += series["value"]
+        return total
+
+    def gauge_value(doc, name):
+        fam = family(doc, name)
+        if fam is None or not fam["series"]:
+            return None
+        return fam["series"][0]["value"]
+
+    def latency_quantile(doc, q):
+        fam = family(doc, "serve_latency_seconds")
+        if fam is None or not fam["series"]:
+            return float("nan")
+        edges = [b["le"] for b in fam["series"][0]["buckets"]]
+        totals = [0] * len(edges)
+        for series in fam["series"]:
+            for i, bucket in enumerate(series["buckets"]):
+                totals[i] += bucket["count"]
+        return histogram_quantile(q, list(zip(edges, totals)))
+
+    breaker_names = {0.0: "closed", 1.0: "open", 2.0: "half_open"}
+    prev = None  # (written_at, requests_total)
+    try:
+        while True:
+            doc = load()
+            if doc is None:
+                print(f"waiting for {path} ...", file=sys.stderr)
+            else:
+                requests = counter_total(doc, "serve_requests_total")
+                written_at = doc.get("written_at", 0.0)
+                if prev is not None and written_at > prev[0]:
+                    qps = (requests - prev[1]) / (written_at - prev[0])
+                else:
+                    qps = float("nan")
+                prev = (written_at, requests)
+                shed = counter_total(doc, "serve_shed_total")
+                shed_rate = shed / requests if requests else 0.0
+                staleness = gauge_value(doc, "serve_staleness")
+                breaker = breaker_names.get(
+                    gauge_value(doc, "serve_breaker_state"), "unknown"
+                )
+                p50 = latency_quantile(doc, 0.50)
+                p99 = latency_quantile(doc, 0.99)
+                print(
+                    f"[seq {doc.get('sequence', '?')}] "
+                    f"qps {qps:7.1f}  "
+                    f"p50 {p50 * 1000:7.2f}ms  p99 {p99 * 1000:7.2f}ms  "
+                    f"staleness {staleness if staleness is not None else '-'}  "
+                    f"breaker {breaker}  shed {shed_rate * 100:.1f}%"
+                )
+                for name, state in sorted((doc.get("slo") or {}).items()):
+                    flag = "FIRING" if state.get("firing") else "ok"
+                    print(
+                        f"  slo {name:<12} {flag:<6} "
+                        f"burn fast {state.get('burn_fast', 0.0):6.2f} "
+                        f"slow {state.get('burn_slow', 0.0):6.2f}  "
+                        f"bad {state.get('window_bad', 0)}/"
+                        f"{state.get('window_bad', 0) + state.get('window_good', 0)}"
+                    )
+            if args.once:
+                return 0 if doc is not None else 1
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -965,7 +1148,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit 1 when availability over non-shed requests falls below this",
     )
+    serve.add_argument(
+        "--trace-out",
+        help="write a Chrome trace (chrome://tracing) stitching the "
+        "server, loadgen planner child process and exemplar request "
+        "spans into one timeline",
+    )
+    serve.add_argument(
+        "--telemetry-dir",
+        help="publish telemetry.prom / telemetry.json snapshots here on "
+        "a cadence (scrape targets; `repro.cli watch` tails them)",
+    )
     serve.set_defaults(handler=cmd_serve)
+
+    watch = commands.add_parser(
+        "watch", help="tail a --telemetry-dir into a terminal dashboard"
+    )
+    watch.add_argument("directory", help="directory holding telemetry.json")
+    watch.add_argument(
+        "--interval", type=float, default=1.0, help="refresh cadence in seconds"
+    )
+    watch.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    watch.set_defaults(handler=cmd_watch)
 
     drill = commands.add_parser("drill", help="run a fault-injection recovery drill")
     _add_dataset_argument(drill)

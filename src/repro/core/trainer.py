@@ -619,11 +619,21 @@ class OnlineAdapter:
             validate_snapshot_ids(snapshot, cfg.num_entities, cfg.num_relations)
         observe_index = self.observed
         self.observed += 1
+        # Drop accounting rides along when a collector is installed
+        # (serve traces the ingest path); 0 otherwise.
+        active_collector = tracing.active()
         if snapshot.is_empty:
             self.model.record_snapshot(snapshot)
             if self.reporter is not None:
                 self.reporter.emit(
-                    "observe", time=snapshot.time, facts=0, steps=0, skips=0
+                    "observe",
+                    time=snapshot.time,
+                    facts=0,
+                    steps=0,
+                    skips=0,
+                    spans_dropped=(
+                        active_collector.dropped if active_collector else 0
+                    ),
                 )
             return
         skips_before = self.guard.total_skips
@@ -645,4 +655,7 @@ class OnlineAdapter:
                 facts=len(snapshot),
                 steps=stepped,
                 skips=self.guard.total_skips - skips_before,
+                spans_dropped=(
+                    active_collector.dropped if active_collector else 0
+                ),
             )

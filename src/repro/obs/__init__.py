@@ -1,6 +1,6 @@
 """Run-wide observability: metrics, span tracing and JSONL run reports.
 
-Three dependency-free layers, designed so that *uninstrumented* code
+Dependency-free layers, designed so that *uninstrumented* code
 pays nothing (the hot-path contract checked by
 ``scripts/check_encoder_budget.py``):
 
@@ -9,16 +9,30 @@ pays nothing (the hot-path contract checked by
   export format.
 * :mod:`repro.obs.tracing` — hierarchical :func:`span` blocks that
   degrade to a no-op with nothing installed, feed the legacy flat
-  :class:`PhaseTimer` under :func:`collect`, and record full
-  parent/child trees with per-span metadata under
-  :func:`collect_spans`.
+  :class:`PhaseTimer` under :func:`collect`, record full parent/child
+  trees with per-span metadata under :func:`collect_spans`, and stitch
+  worker trees across process boundaries (:class:`TraceContext`,
+  ``SpanCollector.serialize_tree``/``splice``).
 * :mod:`repro.obs.report` — a :class:`RunReporter` streaming one
   schema-validated JSONL event per epoch/eval/checkpoint/non-finite
   skip, and readers (:func:`read_events`, :func:`summarize_run`) used
   by ``repro.cli report`` and the CI telemetry gate
   (``scripts/check_run_health.py``).
+* :mod:`repro.obs.exposition` — Prometheus text rendering of a
+  registry plus the :class:`TelemetrySink` thread that snapshots live
+  telemetry to disk atomically for ``repro.cli watch`` and CI scrapes.
+* :mod:`repro.obs.slo` — declarative :class:`SLODef` objectives with
+  ring-buffer windows and multi-window burn-rate alerting
+  (:class:`SLOEngine`), emitting paired ``alert`` events.
 """
 
+from repro.obs.exposition import (
+    JSON_FILENAME,
+    PROM_FILENAME,
+    TelemetrySink,
+    histogram_quantile,
+    to_prometheus,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -44,11 +58,18 @@ from repro.obs.report import (
     read_events,
     summarize_run,
 )
+from repro.obs.slo import (
+    ALERT_STATES,
+    BurnWindow,
+    SLODef,
+    SLOEngine,
+)
 from repro.obs.tracing import (
     PhaseTimer,
     ResourceSampler,
     Span,
     SpanCollector,
+    TraceContext,
     active,
     active_timer,
     collect,
@@ -78,10 +99,20 @@ __all__ = [
     "RunReporter",
     "read_events",
     "summarize_run",
+    "ALERT_STATES",
+    "BurnWindow",
+    "SLODef",
+    "SLOEngine",
+    "JSON_FILENAME",
+    "PROM_FILENAME",
+    "TelemetrySink",
+    "histogram_quantile",
+    "to_prometheus",
     "PhaseTimer",
     "ResourceSampler",
     "Span",
     "SpanCollector",
+    "TraceContext",
     "active",
     "active_timer",
     "collect",

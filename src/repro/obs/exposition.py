@@ -1,0 +1,224 @@
+"""Prometheus text exposition and an atomic file-based telemetry sink.
+
+:func:`to_prometheus` renders any :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus text format (version 0.0.4): ``# HELP``/``# TYPE``
+headers per family, one sample line per labeled series, histograms as
+cumulative ``_bucket{le=...}`` plus ``_sum``/``_count``.  Series that
+diverted non-finite updates (see the guards in ``metrics.py``) surface
+them as a synthesized ``<name>_nonfinite_total`` counter family, so a
+scraper can alert on poisoned instruments instead of silently missing
+data.
+
+:class:`TelemetrySink` is the live half: a daemon thread that, on a
+cadence, snapshots the registry (plus optional SLO state) into a
+``telemetry.prom`` / ``telemetry.json`` pair inside one directory.
+Writes are atomic (tmp file + ``os.replace``), so a concurrent reader —
+``repro.cli watch``, the CI scrape, ``curl`` via a file server — always
+sees a complete document, never a torn one.
+
+:func:`histogram_quantile` estimates quantiles from cumulative bucket
+counts with PromQL's linear-interpolation rule; the watch dashboard
+uses it for p50/p99 without needing raw observations.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Filenames the sink maintains inside its directory.
+PROM_FILENAME = "telemetry.prom"
+JSON_FILENAME = "telemetry.json"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    lines: List[str] = []
+    nonfinite: List[Tuple[str, Dict[str, str], int]] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if metric.help:
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        for labels, series in metric.series_items():
+            diverted = getattr(series, "nonfinite", 0)
+            if diverted:
+                nonfinite.append((name, labels, diverted))
+            if metric.kind == "histogram":
+                cumulative = series.cumulative()
+                edges = list(series.edges) + ["+Inf"]
+                for edge, cum in zip(edges, cumulative):
+                    le = "+Inf" if edge == "+Inf" else _format_value(edge)
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, {'le': le})} {cum}"
+                    )
+                lines.append(f"{name}_sum{_label_str(labels)} {_format_value(series.sum)}")
+                lines.append(f"{name}_count{_label_str(labels)} {series.count}")
+            else:
+                lines.append(f"{name}{_label_str(labels)} {_format_value(series.value)}")
+    for name, labels, diverted in nonfinite:
+        side = f"{name}_nonfinite_total"
+        lines.append(f"# HELP {side} non-finite updates diverted from {name}")
+        lines.append(f"# TYPE {side} counter")
+        lines.append(f"{side}{_label_str(labels)} {diverted}")
+    return "\n".join(lines) + "\n"
+
+
+def histogram_quantile(
+    q: float, buckets: Sequence[Tuple[Union[float, str], int]]
+) -> float:
+    """Estimate the ``q`` quantile from cumulative ``(le, count)`` buckets.
+
+    PromQL's rule: find the first bucket whose cumulative count reaches
+    ``q * total`` and interpolate linearly inside it; observations in
+    the ``+Inf`` bucket clamp to the highest finite edge.  Returns NaN
+    for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if not buckets:
+        return float("nan")
+    parsed: List[Tuple[float, int]] = []
+    for le, count in buckets:
+        edge = float("inf") if le in ("+inf", "+Inf") else float(le)
+        parsed.append((edge, int(count)))
+    parsed.sort(key=lambda item: item[0])
+    total = parsed[-1][1]
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    prev_edge = 0.0
+    prev_count = 0
+    highest_finite = max((e for e, _ in parsed if math.isfinite(e)), default=0.0)
+    for edge, count in parsed:
+        if count >= rank:
+            if not math.isfinite(edge):
+                return highest_finite
+            if count == prev_count:
+                return edge
+            fraction = (rank - prev_count) / (count - prev_count)
+            return prev_edge + (edge - prev_edge) * fraction
+        prev_edge, prev_count = edge, count
+    return highest_finite
+
+
+class TelemetrySink:
+    """Periodically snapshot registry + SLO state to files, atomically.
+
+    ``slo_state`` is a zero-argument callable returning a JSON-safe
+    dict (e.g. a server method that reads its :class:`SLOEngine` under
+    the server's own lock — the sink never touches the engine directly,
+    keeping the engine's no-internal-locking contract intact).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        registry: MetricsRegistry,
+        slo_state: Optional[Callable[[], dict]] = None,
+        interval_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.directory = directory
+        self.registry = registry
+        self.slo_state = slo_state
+        self.interval_s = float(interval_s)
+        self.clock = clock
+        self.writes = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _write_atomic(self, filename: str, payload: str) -> None:
+        path = os.path.join(self.directory, filename)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def write_once(self) -> dict:
+        """Snapshot now; returns the JSON document that was written."""
+        slo = self.slo_state() if self.slo_state is not None else None
+        self.writes += 1
+        doc = {
+            "written_at": round(self.clock(), 6),
+            "sequence": self.writes,
+            "metrics": self.registry.to_dict(),
+            "slo": slo,
+        }
+        self._write_atomic(PROM_FILENAME, to_prometheus(self.registry))
+        self._write_atomic(JSON_FILENAME, json.dumps(doc, sort_keys=True, indent=1))
+        return doc
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.write_once()
+
+    def start(self) -> "TelemetrySink":
+        if self._thread is not None:
+            raise RuntimeError("TelemetrySink already started")
+        self.write_once()  # publish immediately so readers never 404
+        self._thread = threading.Thread(
+            target=self._run, name="telemetry-sink", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_write: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_write:
+            self.write_once()
+
+    def __enter__(self) -> "TelemetrySink":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

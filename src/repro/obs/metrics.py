@@ -23,6 +23,7 @@ sites can share a metric but cannot silently redefine it.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -98,18 +99,27 @@ class _Metric:
 
 
 class _CounterSeries:
-    __slots__ = ("value",)
+    __slots__ = ("value", "nonfinite")
 
     def __init__(self):
         self.value = 0.0
+        self.nonfinite = 0
 
     def inc(self, amount: float = 1.0) -> None:
+        # NaN/Inf would poison the running value silently (and NaN
+        # dodges the < 0 check below); count and drop them instead.
+        if not math.isfinite(amount):
+            self.nonfinite += 1
+            return
         if amount < 0:
             raise MetricError("counters only go up")
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"value": self.value}
+        d = {"value": self.value}
+        if self.nonfinite:
+            d["nonfinite"] = self.nonfinite
+        return d
 
 
 class Counter(_Metric):
@@ -128,19 +138,30 @@ class Counter(_Metric):
 
 
 class _GaugeSeries:
-    __slots__ = ("value",)
+    __slots__ = ("value", "nonfinite")
 
     def __init__(self):
         self.value = 0.0
+        self.nonfinite = 0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        if not math.isfinite(value):
+            self.nonfinite += 1
+            return
+        self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
+        if not math.isfinite(amount):
+            self.nonfinite += 1
+            return
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"value": self.value}
+        d = {"value": self.value}
+        if self.nonfinite:
+            d["nonfinite"] = self.nonfinite
+        return d
 
 
 class Gauge(_Metric):
@@ -159,7 +180,7 @@ class Gauge(_Metric):
 
 
 class _HistogramSeries:
-    __slots__ = ("edges", "counts", "sum", "count")
+    __slots__ = ("edges", "counts", "sum", "count", "nonfinite")
 
     def __init__(self, edges: Tuple[float, ...]):
         self.edges = edges
@@ -167,9 +188,16 @@ class _HistogramSeries:
         self.counts = [0] * (len(edges) + 1)
         self.sum = 0.0
         self.count = 0
+        self.nonfinite = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
+        # One NaN would make _sum (and every quantile derived from the
+        # exposition) NaN forever; divert non-finite observations to the
+        # side counter instead of folding them in.
+        if not math.isfinite(value):
+            self.nonfinite += 1
+            return
         self.sum += value
         self.count += 1
         for i, edge in enumerate(self.edges):
@@ -188,7 +216,7 @@ class _HistogramSeries:
         return out
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "buckets": [
                 {"le": edge, "count": cum}
                 for edge, cum in zip(
@@ -198,6 +226,9 @@ class _HistogramSeries:
             "sum": self.sum,
             "count": self.count,
         }
+        if self.nonfinite:
+            d["nonfinite"] = self.nonfinite
+        return d
 
 
 class Histogram(_Metric):

@@ -1,0 +1,272 @@
+"""SLO tracking with multi-window burn-rate alerting.
+
+An :class:`SLOEngine` watches streams of good/bad events (one stream
+per declarative :class:`SLODef`) through two ring-buffer sliding
+windows — a *fast* window that reacts quickly and a *slow* window that
+filters blips — and fires an alert only when **both** windows burn
+error budget faster than their thresholds, the multi-window policy from
+the SRE workbook.  The *burn rate* is
+
+    burn = bad_fraction / (1 - objective)
+
+i.e. how many times faster than "exactly meeting the objective" the
+window is consuming error budget; ``burn == 1`` means the objective is
+being met exactly, ``burn == 0`` means a clean window.
+
+Alerts are **paired and monotone**: per SLO the emitted states strictly
+alternate ``firing`` → ``resolved`` → ``firing`` → …, starting with
+``firing``, and :meth:`SLOEngine.force_resolve` closes any open alert
+at shutdown so a terminated event stream always ends resolved — the
+invariant ``scripts/check_run_health.py`` replays.
+
+The engine is lock-free by design: callers serialise access themselves
+(:class:`repro.serve.server.ModelServer` invokes it only under its
+report lock), which keeps alert events ordered against the request
+events that caused them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Legal ``alert`` event states (mirrored by the report schema checks).
+ALERT_STATES = ("firing", "resolved")
+
+
+class BurnWindow:
+    """Good/bad event counts over a sliding window, in a fixed ring.
+
+    The window is discretised into ``bins`` buckets of
+    ``window_s / bins`` seconds; recording into the current bucket
+    lazily evicts buckets older than the window.  Memory is O(bins)
+    regardless of traffic, and :meth:`totals` is O(bins).
+    """
+
+    __slots__ = ("window_s", "bins", "bin_s", "_slots")
+
+    def __init__(self, window_s: float, bins: int = 12):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.window_s = float(window_s)
+        self.bins = int(bins)
+        self.bin_s = self.window_s / self.bins
+        # bucket index -> [good, bad]; keyed absolutely so stale slots
+        # are detectable without a sweep thread.
+        self._slots: Dict[int, List[int]] = {}
+
+    def _bucket(self, now: float) -> int:
+        return int(now / self.bin_s)
+
+    def _evict(self, current: int) -> None:
+        floor = current - self.bins
+        for key in [k for k in self._slots if k <= floor]:
+            del self._slots[key]
+
+    def record(self, now: float, bad: bool, weight: int = 1) -> None:
+        bucket = self._bucket(now)
+        self._evict(bucket)
+        slot = self._slots.setdefault(bucket, [0, 0])
+        slot[1 if bad else 0] += weight
+
+    def totals(self, now: float) -> Tuple[int, int]:
+        """``(good, bad)`` counts inside the window ending at ``now``."""
+        current = self._bucket(now)
+        self._evict(current)
+        good = bad = 0
+        for key, (g, b) in self._slots.items():
+            if key > current - self.bins:
+                good += g
+                bad += b
+        return good, bad
+
+    def bad_fraction(self, now: float) -> float:
+        good, bad = self.totals(now)
+        total = good + bad
+        return 0.0 if total == 0 else bad / total
+
+
+@dataclass(frozen=True)
+class SLODef:
+    """One declarative service-level objective.
+
+    ``objective`` is the good-event fraction target (e.g. ``0.99`` for
+    99% availability); the burn thresholds default to the SRE-workbook
+    page/ticket pairing for 1m/5m windows.
+    """
+
+    name: str
+    objective: float
+    description: str = ""
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    fast_burn: float = 14.0
+    slow_burn: float = 6.0
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.fast_window_s > self.slow_window_s:
+            raise ValueError("fast window must not exceed the slow window")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be positive")
+
+
+class _SLOState:
+    __slots__ = ("definition", "fast", "slow", "firing", "alerts")
+
+    def __init__(self, definition: SLODef):
+        self.definition = definition
+        self.fast = BurnWindow(definition.fast_window_s)
+        self.slow = BurnWindow(definition.slow_window_s)
+        self.firing = False
+        self.alerts = 0
+
+
+class SLOEngine:
+    """Evaluates :class:`SLODef` streams and emits paired alert events.
+
+    ``emit`` is a ``(event, **fields)`` callable (typically a
+    :meth:`RunReporter.emit` already serialised by the caller's lock);
+    ``registry`` optionally mirrors burn rates and alert counts as
+    metrics for the exposition endpoint.  **Not thread-safe** — callers
+    hold their own lock, by contract (see module docstring).
+    """
+
+    def __init__(
+        self,
+        defs: Sequence[SLODef],
+        clock: Callable[[], float] = time.monotonic,
+        registry=None,
+        emit: Optional[Callable[..., object]] = None,
+    ):
+        names = [d.name for d in defs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.clock = clock
+        self.emit = emit
+        self._states: Dict[str, _SLOState] = {d.name: _SLOState(d) for d in defs}
+        self._burn_gauge = self._firing_gauge = self._alerts_total = None
+        if registry is not None:
+            self._burn_gauge = registry.gauge(
+                "slo_burn_rate", help="error-budget burn rate per SLO window"
+            )
+            self._firing_gauge = registry.gauge(
+                "slo_alert_firing", help="1 while the SLO's alert is firing"
+            )
+            self._alerts_total = registry.counter(
+                "slo_alerts_total", help="alert transitions per SLO and state"
+            )
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, bad: bool, now: Optional[float] = None) -> None:
+        """Feed one good/bad event into ``name``'s windows and re-evaluate."""
+        state = self._states[name]
+        if now is None:
+            now = self.clock()
+        state.fast.record(now, bad)
+        state.slow.record(now, bad)
+        self._evaluate(state, now)
+
+    def check(self, now: Optional[float] = None) -> None:
+        """Re-evaluate every SLO at ``now`` (no new events).
+
+        This is how alerts *resolve without traffic*: window decay alone
+        can clear the firing condition.
+        """
+        if now is None:
+            now = self.clock()
+        for state in self._states.values():
+            self._evaluate(state, now)
+
+    def force_resolve(self, reason: str = "shutdown") -> None:
+        """Close every firing alert (shutdown path; pairing safety net)."""
+        now = self.clock()
+        for state in self._states.values():
+            if state.firing:
+                self._transition(state, False, now, reason)
+
+    # ------------------------------------------------------------------
+    def burn_rates(self, name: str, now: Optional[float] = None) -> Tuple[float, float]:
+        """``(fast, slow)`` burn rates for ``name`` at ``now``."""
+        state = self._states[name]
+        if now is None:
+            now = self.clock()
+        budget = 1.0 - state.definition.objective
+        return (
+            state.fast.bad_fraction(now) / budget,
+            state.slow.bad_fraction(now) / budget,
+        )
+
+    def is_firing(self, name: str) -> bool:
+        return self._states[name].firing
+
+    def state(self, now: Optional[float] = None) -> dict:
+        """Snapshot for the telemetry sink's ``telemetry.json``."""
+        if now is None:
+            now = self.clock()
+        out = {}
+        for name, state in self._states.items():
+            fast, slow = self.burn_rates(name, now)
+            good, bad = state.slow.totals(now)
+            out[name] = {
+                "objective": state.definition.objective,
+                "description": state.definition.description,
+                "firing": state.firing,
+                "burn_fast": round(fast, 6),
+                "burn_slow": round(slow, 6),
+                "window_good": good,
+                "window_bad": bad,
+                "alerts": state.alerts,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, state: _SLOState, now: float) -> None:
+        d = state.definition
+        budget = 1.0 - d.objective
+        fast = state.fast.bad_fraction(now) / budget
+        slow = state.slow.bad_fraction(now) / budget
+        if self._burn_gauge is not None:
+            self._burn_gauge.set(fast, slo=d.name, window="fast")
+            self._burn_gauge.set(slow, slo=d.name, window="slow")
+        should_fire = fast >= d.fast_burn and slow >= d.slow_burn
+        if should_fire != state.firing:
+            reason = (
+                f"burn fast={fast:.2f}>={d.fast_burn:g} and slow={slow:.2f}>={d.slow_burn:g}"
+                if should_fire
+                else "burn below threshold"
+            )
+            self._transition(state, should_fire, now, reason, fast, slow)
+
+    def _transition(
+        self,
+        state: _SLOState,
+        firing: bool,
+        now: float,
+        reason: str,
+        fast: Optional[float] = None,
+        slow: Optional[float] = None,
+    ) -> None:
+        if fast is None or slow is None:
+            budget = 1.0 - state.definition.objective
+            fast = state.fast.bad_fraction(now) / budget
+            slow = state.slow.bad_fraction(now) / budget
+        state.firing = firing
+        state.alerts += int(firing)
+        alert_state = "firing" if firing else "resolved"
+        if self._firing_gauge is not None:
+            self._firing_gauge.set(1.0 if firing else 0.0, slo=state.definition.name)
+            self._alerts_total.inc(1.0, slo=state.definition.name, state=alert_state)
+        if self.emit is not None:
+            self.emit(
+                "alert",
+                slo=state.definition.name,
+                state=alert_state,
+                burn_fast=round(fast, 6),
+                burn_slow=round(slow, 6),
+                reason=reason,
+            )

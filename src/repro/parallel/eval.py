@@ -59,6 +59,8 @@ from repro.eval.interface import ExtrapolationModel
 from repro.eval.metrics import RankAccumulator
 from repro.eval.protocol import EvaluationResult, TimestampScores, score_timestamp
 from repro.graph import TemporalKG
+from repro.obs import tracing
+from repro.obs.tracing import TraceContext
 from repro.parallel.plan import shard_sequence
 
 #: Per-process worker state, populated by :func:`_init_eval_worker`.
@@ -143,14 +145,24 @@ def _init_eval_worker(payload: dict) -> None:
 def _score_block(
     block: Tuple[int, List[int]],
 ) -> Tuple[int, List[TimestampScores], dict]:
-    """Score one contiguous run of timestamp shards (one pool task)."""
+    """Score one contiguous run of timestamp shards (one pool task).
+
+    When the coordinator shipped a :class:`TraceContext` in the payload
+    (it had a span collector installed), the worker records its own span
+    tree — one ``eval_block`` root with a ``score_ts`` child per
+    timestamp — and returns it, serialized, in the telemetry record for
+    the coordinator to splice.  Without a context the scoring loop pays
+    the usual zero-cost no-op path.
+    """
     block_index, timestamps = block
     state = _WORKER_STATE
     model = state["model"]
     start = time.perf_counter()
     scored: List[TimestampScores] = []
     queries = 0
-    for ts in timestamps:
+
+    def score_one(ts: int) -> None:
+        nonlocal queries
         result = score_timestamp(
             model,
             state["test_graph"].snapshot(int(ts)),
@@ -163,6 +175,19 @@ def _score_block(
         if result is not None:
             scored.append(result)
             queries += len(result.entity_ranks)
+
+    trace: Optional[TraceContext] = state.get("trace")
+    collector = None
+    if trace is not None:
+        collector = tracing.SpanCollector(context=trace)
+        with tracing.collect_spans(collector):
+            with tracing.span("eval_block", block=block_index, timestamps=len(timestamps)):
+                for ts in timestamps:
+                    with tracing.span("score_ts", ts=int(ts)):
+                        score_one(ts)
+    else:
+        for ts in timestamps:
+            score_one(ts)
     telemetry = {
         "worker": block_index,
         "pid": os.getpid(),
@@ -171,6 +196,8 @@ def _score_block(
         "queries": queries,
         "scorer": _scorer_spec(model),
     }
+    if collector is not None:
+        telemetry["spans"] = collector.serialize_tree()
     return block_index, scored, telemetry
 
 
@@ -202,6 +229,7 @@ def _score_all(
         )
 
     timestamps = [int(ts) for ts in test_graph.timestamps]
+    parent_collector = tracing.active()
 
     if workers == 1:
         # Replay the *sequential* reveal schedule, exactly as the serial
@@ -213,9 +241,9 @@ def _score_all(
         start = time.perf_counter()
         scored = []
         queries = 0
-        for ts in timestamps:
-            snapshot = test_graph.snapshot(ts)
-            result = score_timestamp(
+
+        def _score_one(snapshot):
+            return score_timestamp(
                 model,
                 snapshot,
                 test_graph.num_relations,
@@ -224,11 +252,43 @@ def _score_all(
                 evaluate_relations=evaluate_relations,
                 dedup=dedup,
             )
-            if result is not None:
-                scored.append(result)
-                queries += len(result.entity_ranks)
-            if observe and len(snapshot.triples):
-                model.observe(snapshot)
+
+        def score_serially(instrumented: bool) -> None:
+            nonlocal queries
+            for ts in timestamps:
+                snapshot = test_graph.snapshot(ts)
+                if instrumented:
+                    with tracing.span("score_ts", ts=int(ts)):
+                        result = _score_one(snapshot)
+                else:
+                    result = _score_one(snapshot)
+                if result is not None:
+                    scored.append(result)
+                    queries += len(result.entity_ranks)
+                if observe and len(snapshot.triples):
+                    model.observe(snapshot)
+
+        if parent_collector is not None:
+            # Record into a private collector carrying the parent's
+            # trace identity, then splice — the same shape (one
+            # ``eval_block`` root with ``score_ts`` children) the pool
+            # workers produce, so the stitched tree is invariant in the
+            # worker count.
+            collector = tracing.SpanCollector(
+                context=TraceContext(
+                    trace_id=parent_collector.trace_id,
+                    pid=parent_collector.pid,
+                    tid=parent_collector.tid,
+                )
+            )
+            with tracing.collect_spans(collector):
+                with tracing.span(
+                    "eval_block", block=0, timestamps=len(timestamps)
+                ):
+                    score_serially(True)
+            parent_collector.splice(collector.serialize_tree())
+        else:
+            score_serially(False)
         telemetry = [
             {
                 "worker": 0,
@@ -259,6 +319,17 @@ def _score_all(
         "evaluate_relations": evaluate_relations,
         "dedup": dedup,
         "reveal": reveal,
+        # Workers only collect spans when the coordinator is tracing —
+        # the zero-cost contract crosses the process boundary too.
+        "trace": (
+            None
+            if parent_collector is None
+            else TraceContext(
+                trace_id=parent_collector.trace_id,
+                pid=parent_collector.pid,
+                tid=parent_collector.tid,
+            )
+        ),
     }
     blocks = [
         (index, block)
@@ -309,6 +380,12 @@ def _score_all(
     results.sort(key=lambda item: item[0])
     scored = [entry for _, block_scored, _ in results for entry in block_scored]
     telemetry = [worker_stats for _, _, worker_stats in results]
+    # Stitch the worker span trees under the coordinator's trace, in
+    # block-index order — deterministic regardless of completion order.
+    for worker_stats in telemetry:
+        tree = worker_stats.pop("spans", None)
+        if parent_collector is not None and tree:
+            parent_collector.splice(tree)
     return scored, telemetry
 
 

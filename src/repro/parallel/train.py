@@ -51,13 +51,16 @@ handling.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph import Snapshot
+from repro.obs import tracing
+from repro.obs.tracing import TraceContext
 from repro.parallel.plan import (
     reseed_generators,
     shard_bounds,
@@ -185,41 +188,92 @@ class GradShardExecutor:
 
         results: List[Optional[tuple]] = [None] * len(shards)
         errors: List[Optional[BaseException]] = [None] * self.workers
+        # Tracing is gated on the coordinator: slots collect spans only
+        # when the calling thread has a SpanCollector installed, so the
+        # uninstrumented path stays zero-cost.
+        master = tracing.active()
+        trees: List[Optional[dict]] = [None] * self.workers
 
         def run_slot(slot: int) -> None:
             start = time.perf_counter()
             done = 0
+            collector = (
+                tracing.SpanCollector(
+                    context=TraceContext(
+                        trace_id=master.trace_id, pid=master.pid, tid=master.tid
+                    )
+                )
+                if master is not None
+                else None
+            )
+            guard = (
+                tracing.collect_spans(collector) if collector is not None else None
+            )
+            if guard is not None:
+                guard.__enter__()
             try:
                 for position in range(slot, len(shards), self.workers):
                     shard_index, sub = shards[position]
-                    results[position] = self._run_shard(
-                        slot, shard_index, sub, global_batch
-                    )
+                    if collector is not None:
+                        with tracing.span(
+                            "grad_shard",
+                            shard=shard_index,
+                            slot=slot,
+                            triples=len(sub.triples),
+                        ):
+                            results[position] = self._run_shard(
+                                slot, shard_index, sub, global_batch
+                            )
+                    else:
+                        results[position] = self._run_shard(
+                            slot, shard_index, sub, global_batch
+                        )
                     done += 1
             except BaseException as exc:  # surfaced after join
                 errors[slot] = exc
             finally:
+                if guard is not None:
+                    guard.__exit__(None, None, None)
+                    trees[slot] = collector.serialize_tree()
                 stats = self._telemetry[slot]
                 stats["shards"] += done
                 stats["seconds"] += time.perf_counter() - start
                 stats["batches"] += 1
 
-        if self.workers == 1:
-            run_slot(0)
-        else:
-            threads = [
-                threading.Thread(
-                    target=run_slot, args=(slot,), name=f"grad-shard-{slot}"
-                )
-                for slot in range(self.workers)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        for exc in errors:
-            if exc is not None:
-                raise exc
+        # The ``grad_shards`` wrapper keeps concurrent slot time out of
+        # the coordinator's depth-0 phase summary: slots overlap, so
+        # their summed seconds may exceed the batch's wall time, but the
+        # wrapper's own seconds (what ``summary(max_depth=0)`` reports)
+        # is plain wall time.
+        wrapper = (
+            tracing.span("grad_shards", shards=len(shards), workers=self.workers)
+            if master is not None
+            else contextlib.nullcontext()
+        )
+        with wrapper:
+            if self.workers == 1:
+                run_slot(0)
+            else:
+                threads = [
+                    threading.Thread(
+                        target=run_slot, args=(slot,), name=f"grad-shard-{slot}"
+                    )
+                    for slot in range(self.workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            for exc in errors:
+                if exc is not None:
+                    raise exc
+            if master is not None:
+                # Splice in slot order — deterministic regardless of
+                # which slot finished first.  ``splice`` attaches under
+                # the innermost open span (the wrapper).
+                for tree in trees:
+                    if tree:
+                        master.splice(tree)
 
         # Reduction: operands in shard-index order, fixed tree bracketing.
         weights = [len(sub.triples) / total for _, sub in shards]

@@ -61,7 +61,7 @@ class ServeRequest:
 
     __slots__ = (
         "queries", "deadline", "enqueued_at", "_done", "result", "error",
-        "batch_size", "started_at",
+        "batch_size", "started_at", "decode_seconds",
     )
 
     def __init__(self, queries: np.ndarray, deadline: Optional[float], now: float):
@@ -73,6 +73,7 @@ class ServeRequest:
         self.error: Optional[BaseException] = None
         self.batch_size: Optional[int] = None
         self.started_at: Optional[float] = None
+        self.decode_seconds: Optional[float] = None
 
     def resolve(self, result: np.ndarray) -> None:
         self.result = result
@@ -222,6 +223,7 @@ class MicroBatcher:
         offset = 0
         for request in live:
             n = len(request.queries)
+            request.decode_seconds = seconds
             request.resolve(scores[offset : offset + n])
             offset += n
 

@@ -22,14 +22,17 @@ but are too noisy as order statistics of ~100 samples to gate on).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.obs import MetricsRegistry
+from repro.obs import tracing
+from repro.obs.tracing import TraceContext
 from repro.serve.breaker import STATE_CLOSED
 from repro.serve.server import (
     STATUS_DEADLINE,
@@ -66,31 +69,34 @@ class LoadgenConfig:
             raise ValueError("qps must be > 0")
 
 
-def run_loadgen(
-    server: ModelServer,
+def build_plans(
     num_entities: int,
     num_relations: int,
-    ingest_snapshots: Sequence = (),
+    ingest_count: int,
     config: LoadgenConfig = LoadgenConfig(),
-) -> List[ServeResponse]:
-    """Fire the open-loop workload; returns every response, arrival order.
+) -> Tuple[np.ndarray, List[tuple]]:
+    """Arrival offsets plus the per-request plan list, fully seeded.
 
-    Arrival offsets are a Poisson process (exponential inter-arrival
-    gaps) from a seeded RNG — the schedule, the query ids and the
-    query/ingest/topk mix are all deterministic in ``config.seed``.
+    Ingest plans carry the *cursor index* into the caller's snapshot
+    list — ``("ingest", 3)`` — not the snapshot itself, so a plan is
+    small and picklable and can be built in another process
+    (:func:`build_plans_traced`).  The RNG draw order is part of the
+    contract: gaps first, then per-request query draws, identical to
+    what :func:`run_loadgen` historically produced, so schedules are
+    stable across this refactor for a fixed seed.
     """
     rng = seeded_rng(config.seed)
     gaps = rng.exponential(1.0 / config.qps, size=config.requests)
     arrivals = np.cumsum(gaps)
-    plans = []
+    plans: List[tuple] = []
     ingest_cursor = 0
     for i in range(config.requests):
         if (
             config.ingest_every > 0
             and i % config.ingest_every == config.ingest_every - 1
-            and ingest_cursor < len(ingest_snapshots)
+            and ingest_cursor < ingest_count
         ):
-            plans.append(("ingest", ingest_snapshots[ingest_cursor]))
+            plans.append(("ingest", ingest_cursor))
             ingest_cursor += 1
         elif config.topk_every > 0 and i % config.topk_every == config.topk_every - 1:
             plans.append(
@@ -111,11 +117,123 @@ def run_loadgen(
                 axis=1,
             ).astype(np.int64)
             plans.append(("score", queries))
+    return arrivals, plans
+
+
+def _plan_in_child(conn, num_entities, num_relations, ingest_count, config, ctx):
+    """Child-process planner: build the plans under a stitched trace.
+
+    Runs in a forked/spawned process; installs a collector continuing
+    the parent's trace (``ctx``), builds the plans inside nested spans,
+    and ships ``(arrivals, plans, serialized span tree)`` back through
+    the pipe.  ``time.perf_counter`` is CLOCK_MONOTONIC on Linux and
+    shared across processes, so the child's timestamps land on the
+    parent's timeline directly.
+    """
+    try:
+        collector = tracing.SpanCollector(context=TraceContext.from_dict(ctx))
+        with tracing.collect_spans(collector):
+            with tracing.span(
+                "plan_load", requests=config.requests, seed=config.seed
+            ):
+                with tracing.span("draw_plans"):
+                    arrivals, plans = build_plans(
+                        num_entities, num_relations, ingest_count, config
+                    )
+        conn.send((arrivals, plans, collector.serialize_tree()))
+    except BaseException as exc:  # the parent falls back in-process
+        conn.send(exc)
+    finally:
+        conn.close()
+
+
+def build_plans_traced(
+    num_entities: int,
+    num_relations: int,
+    ingest_count: int,
+    config: LoadgenConfig = LoadgenConfig(),
+    context: Optional[TraceContext] = None,
+    timeout_s: float = 30.0,
+) -> Tuple[np.ndarray, List[tuple], Optional[dict]]:
+    """:func:`build_plans` in a child process, returning its span tree.
+
+    Exists so a ``--trace-out`` drill has spans from a genuinely
+    distinct pid to stitch.  Fork is preferred (cheap, inherits the
+    import state); if the child fails or misses ``timeout_s`` the plans
+    are rebuilt in-process (identical by seed) and the tree is ``None``.
+    """
+    if context is None:
+        active = tracing.active()
+        if active is not None:
+            context = TraceContext(
+                trace_id=active.trace_id, pid=active.pid, tid=active.tid
+            )
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        mp = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        parent_conn, child_conn = mp.Pipe(duplex=False)
+        ctx_dict = context.to_dict() if context is not None else None
+        proc = mp.Process(
+            target=_plan_in_child,
+            args=(
+                child_conn,
+                num_entities,
+                num_relations,
+                ingest_count,
+                config,
+                ctx_dict or TraceContext(trace_id="untraced").to_dict(),
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        payload = None
+        if parent_conn.poll(timeout_s):
+            payload = parent_conn.recv()
+        parent_conn.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        if isinstance(payload, tuple):
+            arrivals, plans, tree = payload
+            return arrivals, plans, tree if context is not None else None
+    except (OSError, EOFError, multiprocessing.ProcessError):
+        pass
+    arrivals, plans = build_plans(num_entities, num_relations, ingest_count, config)
+    return arrivals, plans, None
+
+
+def run_loadgen(
+    server: ModelServer,
+    num_entities: int,
+    num_relations: int,
+    ingest_snapshots: Sequence = (),
+    config: LoadgenConfig = LoadgenConfig(),
+    prebuilt: Optional[Tuple[np.ndarray, List[tuple]]] = None,
+) -> List[ServeResponse]:
+    """Fire the open-loop workload; returns every response, arrival order.
+
+    Arrival offsets are a Poisson process (exponential inter-arrival
+    gaps) from a seeded RNG — the schedule, the query ids and the
+    query/ingest/topk mix are all deterministic in ``config.seed``.
+    ``prebuilt`` short-circuits planning with an ``(arrivals, plans)``
+    pair from :func:`build_plans` / :func:`build_plans_traced`; ingest
+    plan indices resolve against ``ingest_snapshots`` at fire time.
+    """
+    if prebuilt is not None:
+        arrivals, plans = prebuilt
+    else:
+        arrivals, plans = build_plans(
+            num_entities, num_relations, len(ingest_snapshots), config
+        )
 
     def fire(plan) -> ServeResponse:
         kind, payload = plan
         if kind == "ingest":
-            return server.ingest(payload)
+            return server.ingest(ingest_snapshots[payload])
         if kind == "topk":
             subject, relation = payload
             return server.topk(

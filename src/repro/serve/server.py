@@ -39,13 +39,15 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.graph import Snapshot
-from repro.obs import SCHEMA_VERSION, MetricsRegistry, RunReporter
+from repro.obs import SCHEMA_VERSION, MetricsRegistry, RunReporter, SLODef, SLOEngine
+from repro.obs.tracing import Span, SpanCollector
 from repro.scale import get_scorer, select_topk
 from repro.serve.batcher import (
     DeadlineExceeded,
@@ -97,12 +99,31 @@ class ServeConfig:
     online_lr: float = 1e-3
     grad_clip: float = 1.0
     seed: int = 0
+    #: SLO burn-rate alerting (repro.obs.slo): objectives plus the
+    #: shared window/threshold geometry.  Windows are in seconds.
+    slo_availability: float = 0.99
+    slo_latency_objective: float = 0.95
+    slo_latency_ms: float = 250.0
+    slo_staleness_objective: float = 0.95
+    slo_staleness_limit: int = 8
+    slo_fast_window_s: float = 60.0
+    slo_slow_window_s: float = 300.0
+    slo_fast_burn: float = 14.0
+    slo_slow_burn: float = 6.0
+    #: per-request trace exemplars: deterministically keep every Nth
+    #: request's span chain in a bounded ring buffer.
+    exemplar_every: int = 8
+    exemplar_capacity: int = 64
 
     def __post_init__(self):
         if self.refresh_attempts < 1:
             raise ValueError("refresh_attempts must be >= 1")
         if self.default_deadline_ms <= 0:
             raise ValueError("default_deadline_ms must be > 0")
+        if self.exemplar_every < 1:
+            raise ValueError("exemplar_every must be >= 1")
+        if self.exemplar_capacity < 1:
+            raise ValueError("exemplar_capacity must be >= 1")
 
 
 @dataclass
@@ -202,6 +223,55 @@ class ModelServer:
         self._refresh_target: Optional[int] = None
         self._refresh_stop = False
         self._refresh_thread: Optional[threading.Thread] = None
+        #: SLO engine — *always* invoked under ``_report_lock`` (the
+        #: engine itself is lock-free by contract), so alert events stay
+        #: ordered against the request events that caused them.
+        self.slo = SLOEngine(
+            [
+                SLODef(
+                    "availability",
+                    config.slo_availability,
+                    description="non-client-error requests answered OK",
+                    fast_window_s=config.slo_fast_window_s,
+                    slow_window_s=config.slo_slow_window_s,
+                    fast_burn=config.slo_fast_burn,
+                    slow_burn=config.slo_slow_burn,
+                ),
+                SLODef(
+                    "latency",
+                    config.slo_latency_objective,
+                    description=f"OK latency <= {config.slo_latency_ms:g} ms",
+                    fast_window_s=config.slo_fast_window_s,
+                    slow_window_s=config.slo_slow_window_s,
+                    fast_burn=config.slo_fast_burn,
+                    slow_burn=config.slo_slow_burn,
+                ),
+                SLODef(
+                    "staleness",
+                    config.slo_staleness_objective,
+                    description=f"served staleness <= {config.slo_staleness_limit}",
+                    fast_window_s=config.slo_fast_window_s,
+                    slow_window_s=config.slo_slow_window_s,
+                    fast_burn=config.slo_fast_burn,
+                    slow_burn=config.slo_slow_burn,
+                ),
+            ],
+            clock=clock,
+            registry=self.registry,
+            emit=self._emit_alert,
+        )
+        #: Sampled per-request span chains (admit → queue_wait → decode
+        #: → respond), deterministic 1-in-``exemplar_every`` by request
+        #: index, bounded by the ring buffer.
+        self._exemplars: deque = deque(maxlen=config.exemplar_capacity)
+        #: Optional stitched-trace sink (``repro.cli serve --trace-out``):
+        #: sampled request chains are recorded out-of-band into this
+        #: collector under ``trace_root`` via the thread-safe ``record``.
+        self.trace_collector: Optional[SpanCollector] = None
+        self.trace_root: Optional[Span] = None
+        self.registry.gauge(
+            "serve_breaker_state", help="ingest breaker: 0 closed, 1 open, 2 half_open"
+        ).set(0.0)
 
     # ------------------------------------------------------------------
     # Telemetry plumbing
@@ -213,6 +283,37 @@ class ModelServer:
             if self._report_closed:
                 return
             self.reporter.emit(event, **fields)
+
+    def _emit_alert(self, event: str, **fields) -> None:
+        """SLO engine emission callback.
+
+        Deliberately lock-free: the engine only runs while the caller
+        already holds ``_report_lock``, so taking it here would
+        deadlock — and *not* taking it is what keeps alert events
+        ordered immediately after the request events that tripped them.
+        """
+        if self.reporter is not None and not self._report_closed:
+            self.reporter.emit(event, **fields)
+
+    def _record_slos(self, kind: str, status: int, response: ServeResponse) -> None:
+        """Classify one finished request into the SLO windows.
+
+        Caller holds ``_report_lock``.  Availability: bad = server-side
+        failure (408/500/503); client errors (400) don't count, and
+        drain-phase refusals are exempt — shutting down on purpose is
+        not an outage.  Latency: OK requests only, bad = over target.
+        Staleness: every answered request, bad = over the limit.
+        """
+        if self._draining:
+            return
+        if status != STATUS_INVALID:
+            bad = status in (STATUS_DEADLINE, STATUS_ERROR, STATUS_UNAVAILABLE)
+            self.slo.record("availability", bad)
+        if status == STATUS_OK:
+            self.slo.record("latency", response.latency_ms > self.config.slo_latency_ms)
+            self.slo.record(
+                "staleness", response.staleness > self.config.slo_staleness_limit
+            )
 
     def _emit_request(self, kind: str, status: int, response: ServeResponse) -> None:
         """One ``request`` event; staleness is read under the report lock
@@ -251,19 +352,21 @@ class ModelServer:
             self.registry.gauge("serve_staleness", help="refreshes behind").set(
                 response.staleness
             )
-            if self.reporter is None:
-                return
-            response.staleness = self.store.staleness
-            self.reporter.emit(
-                "request",
-                kind=kind,
-                status=status,
-                staleness=response.staleness,
-                latency_ms=round(response.latency_ms, 3),
-                queued_ms=round(response.queued_ms, 3),
-                batch=response.batch,
-                snapshot_ts=response.snapshot_ts,
-            )
+            if self.reporter is not None:
+                response.staleness = self.store.staleness
+                self.reporter.emit(
+                    "request",
+                    kind=kind,
+                    status=status,
+                    staleness=response.staleness,
+                    latency_ms=round(response.latency_ms, 3),
+                    queued_ms=round(response.queued_ms, 3),
+                    batch=response.batch,
+                    snapshot_ts=response.snapshot_ts,
+                )
+            # SLO classification after the request event, so a fired
+            # alert always follows the request that tripped it.
+            self._record_slos(kind, status, response)
 
     def _emit_shed(self, kind: str, reason: str) -> None:
         with self._report_lock:
@@ -280,6 +383,9 @@ class ModelServer:
         self.registry.counter(
             "serve_breaker_transitions_total", help="breaker transitions"
         ).inc(1, to_state=new)
+        self.registry.gauge(
+            "serve_breaker_state", help="ingest breaker: 0 closed, 1 open, 2 half_open"
+        ).set({"closed": 0.0, "open": 1.0, "half_open": 2.0}.get(new, -1.0))
         self._emit("breaker_transition", from_state=old, to_state=new, reason=reason)
 
     # ------------------------------------------------------------------
@@ -412,6 +518,7 @@ class ModelServer:
         except Shed as exc:
             self._emit_shed(kind, exc.reason)
             return self._refusal(kind, STATUS_UNAVAILABLE, str(exc))
+        submitted = self.clock()
 
         # Deadline propagation to the waiter too: never block past it.
         request.wait(timeout=max(0.0, deadline - self.clock()) + 0.25)
@@ -453,8 +560,98 @@ class ModelServer:
                 **base,
             )
             response.staleness = staleness
+        if request_index % self.config.exemplar_every == 0:
+            self._record_exemplar(
+                kind, request_index, request, response, started, submitted, now
+            )
         self._emit_request(kind, response.status, response)
         return response
+
+    def _record_exemplar(
+        self,
+        kind: str,
+        request_index: int,
+        request: ServeRequest,
+        response: ServeResponse,
+        started: float,
+        submitted: float,
+        now: float,
+    ) -> None:
+        """Keep this request's span chain (and trace it, when wired).
+
+        The chain is contiguous — admit → queue_wait → decode → respond
+        partition exactly ``[started, now]`` — so the segment seconds
+        sum to the reported latency by construction (the e2e test's
+        invariant).  Phases that never happened (a request failed in
+        the queue) collapse to zero-length segments.
+        """
+        t_compute = request.started_at if request.started_at is not None else now
+        t_compute = min(max(t_compute, submitted), now)
+        t_decoded = t_compute + (request.decode_seconds or 0.0)
+        t_decoded = min(max(t_decoded, t_compute), now)
+        segments = (
+            ("admit", started, submitted),
+            ("queue_wait", submitted, t_compute),
+            ("decode", t_compute, t_decoded),
+            ("respond", t_decoded, now),
+        )
+        self._exemplars.append(
+            {
+                "request_index": request_index,
+                "kind": kind,
+                "status": response.status,
+                "latency_ms": round(response.latency_ms, 3),
+                "batch": response.batch,
+                "spans": [
+                    {
+                        "name": name,
+                        "start": a,
+                        "end": b,
+                        "seconds": round(b - a, 9),
+                    }
+                    for name, a, b in segments
+                ],
+            }
+        )
+        collector = self.trace_collector
+        if collector is not None:
+            tid = threading.get_native_id()
+            parent = collector.record(
+                "request",
+                started,
+                now,
+                parent=self.trace_root,
+                meta={"kind": kind, "status": response.status, "index": request_index},
+                tid=tid,
+            )
+            if parent is not None:
+                for name, a, b in segments:
+                    collector.record(name, a, b, parent=parent, tid=tid)
+
+    def exemplars(self) -> List[dict]:
+        """The retained sampled request span chains (newest last)."""
+        return list(self._exemplars)
+
+    # ------------------------------------------------------------------
+    # SLO surface
+    # ------------------------------------------------------------------
+    def check_slos(self) -> dict:
+        """Re-evaluate every SLO at the current time and return the state.
+
+        This is the no-traffic path to *resolution*: window decay alone
+        can clear a firing alert, so callers (the CLI's post-drill
+        settle loop, tests) poll this instead of sending filler
+        requests.
+        """
+        with self._report_lock:
+            if not self._report_closed:
+                self.slo.check()
+            return self.slo.state()
+
+    def slo_state(self) -> dict:
+        """Read-only SLO snapshot for the telemetry sink (locked)."""
+        with self._report_lock:
+            return self.slo.state()
 
     # ------------------------------------------------------------------
     # Ingest path (circuit-broken online continual training)
@@ -646,6 +843,7 @@ class ModelServer:
             "queue_depth": self.batcher.depth if self.batcher is not None else 0,
             "requests": self.counters.requests,
             "shed": self.counters.shed,
+            "exemplars": len(self._exemplars),
         }
 
     def ready(self) -> bool:
@@ -680,6 +878,11 @@ class ModelServer:
         # reported after run_end (late responses are dropped from the
         # report entirely, so the drain totals reconcile exactly).
         with self._report_lock:
+            # Pairing safety net: any alert still firing resolves here,
+            # before the drain terminator, so the emitted alert stream
+            # always ends "resolved" (the health-check invariant).
+            if not self._report_closed:
+                self.slo.force_resolve("shutdown")
             if self.reporter is not None and not self._report_closed:
                 self.reporter.emit(
                     "drain",

@@ -1,26 +1,27 @@
-"""Back-compat shim over :mod:`repro.obs.tracing`.
+"""DEPRECATED back-compat shim over :mod:`repro.obs.tracing`.
 
-The flat per-phase timers that used to live here are now the lowest
-tier of the observability layer: :func:`repro.obs.tracing.span` blocks
-feed an installed :class:`PhaseTimer` exactly as ``timing.phase`` did,
-and additionally record hierarchical span trees under
-:func:`repro.obs.tracing.collect_spans`.  Existing callers keep
-working:
-
-    timer = PhaseTimer()
-    with collect(timer):
-        model.loss_on_snapshot(snapshot)
-    timer.summary()  # {"eam": {"seconds": ..., "calls": ...}, ...}
-
-New code should import from :mod:`repro.obs` directly.
+This module is a one-release stub: everything it re-exported lives in
+:mod:`repro.obs.tracing` (``timing.phase`` blocks are plain ``span``
+blocks; ``timing.active`` is ``tracing.active_timer``).  All in-repo
+callers have been migrated; importing this module warns and will stop
+working in the next release.
 """
 
-from repro.obs.tracing import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.timing is deprecated; import from repro.obs.tracing instead "
+    "(PhaseTimer/collect/span are re-exported by repro.obs)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.obs.tracing import (  # noqa: E402,F401
     PhaseTimer,
     collect,
     phase,
     span,
 )
-from repro.obs.tracing import active_timer as active  # noqa: F401
+from repro.obs.tracing import active_timer as active  # noqa: E402,F401
 
 __all__ = ["PhaseTimer", "active", "collect", "phase", "span"]

@@ -125,6 +125,56 @@ class TestHistogramBuckets:
         assert [m["name"] for m in payload["metrics"]] == ["a_share", "b_total", "lat"]
 
 
+class TestNonFiniteGuards:
+    """NaN/Inf updates divert to a side counter instead of poisoning."""
+
+    def test_histogram_diverts_nonfinite_observations(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(float("nan"))
+        h.observe(float("inf"))
+        h.observe(float("-inf"))
+        series = h.labels()
+        assert series.count == 1
+        assert series.sum == pytest.approx(0.05)
+        assert series.nonfinite == 3
+        assert series.to_dict()["nonfinite"] == 3
+
+    def test_gauge_set_and_inc_keep_last_finite_value(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("p99")
+        g.set(3.0)
+        g.set(float("nan"))
+        g.labels().inc(float("inf"))
+        assert g.value() == 3.0
+        assert g.labels().nonfinite == 2
+
+    def test_counter_diverts_nonfinite_before_sign_check(self):
+        registry = MetricsRegistry()
+        c = registry.counter("steps")
+        c.inc(2)
+        # NaN is not < 0, so without the guard it would slip past the
+        # monotonicity check and poison the value.
+        c.inc(float("nan"))
+        assert c.value() == 2
+        assert c.labels().nonfinite == 1
+
+    def test_finite_series_export_has_no_nonfinite_key(self):
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+        assert "nonfinite" not in registry.get("ok").labels().to_dict()
+
+    def test_exposition_surfaces_side_counter(self):
+        from repro.obs import to_prometheus
+
+        registry = MetricsRegistry()
+        registry.gauge("p99").set(float("nan"))
+        text = to_prometheus(registry)
+        assert "# TYPE p99_nonfinite_total counter" in text
+        assert "p99_nonfinite_total 1" in text
+
+
 # ----------------------------------------------------------------------
 # Span tracing
 # ----------------------------------------------------------------------
@@ -175,6 +225,30 @@ class TestSpans:
         assert collector.dropped == 2
         assert collector.is_balanced()
 
+    def test_drops_surface_in_summary_and_chrome_metadata(self):
+        collector = SpanCollector(max_spans=1)
+        with collect_spans(collector):
+            for _ in range(3):
+                with span("step"):
+                    pass
+        summary = collector.summary()
+        assert summary["_dropped"] == {"seconds": 0.0, "calls": 2}
+        trace = tracing.to_chrome_trace(collector)
+        assert trace["metadata"]["spans_dropped"] == 2
+        assert trace["metadata"]["spans_recorded"] == 1
+
+    def test_phase_timer_bounds_name_cardinality(self):
+        timer = PhaseTimer(max_phases=2)
+        timer.add("a", 0.1)
+        timer.add("b", 0.2)
+        timer.add("c", 0.3)  # new name past the bound: dropped
+        timer.add("a", 0.1)  # existing name: still accumulates
+        assert timer.dropped == 1
+        summary = timer.summary()
+        assert summary["a"]["calls"] == 2
+        assert "c" not in summary
+        assert summary["_dropped"] == {"seconds": 0.0, "calls": 1}
+
     def test_span_feeds_timer_and_collector_together(self):
         collector = SpanCollector()
         timer = PhaseTimer()
@@ -203,8 +277,13 @@ class TestSpans:
         assert seen["span"] is None
         assert [s.name for s in collector.spans] == ["mine"]
 
-    def test_timing_shim_reexports_tracing(self):
-        from repro import timing
+    def test_timing_shim_reexports_tracing_with_deprecation_warning(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.timing", None)
+        with pytest.warns(DeprecationWarning, match="repro.obs.tracing"):
+            timing = importlib.import_module("repro.timing")
 
         assert timing.PhaseTimer is PhaseTimer
         assert timing.span is span
@@ -260,6 +339,14 @@ def _one_of_each_event(reporter):
     reporter.emit("refresh_retry", ts=9, attempt=1, outcome="ok", backoff_ms=5.0)
     reporter.emit("breaker_transition", from_state="closed", to_state="open", reason="skips")
     reporter.emit("degraded", ts=9, staleness=2, reason="refresh retries exhausted")
+    reporter.emit(
+        "alert",
+        slo="availability",
+        state="firing",
+        burn_fast=20.0,
+        burn_slow=8.0,
+        reason="burn over threshold",
+    )
     reporter.emit("drain", requests=1, shed=1, errors=0, deadline_exceeded=0, clean=True)
     reporter.emit("run_end", status="completed", epochs_completed=1)
 
