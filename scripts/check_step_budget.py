@@ -1,22 +1,26 @@
 #!/usr/bin/env python
-"""CI smoke benchmark: fail if the decoder or the full step regresses.
+"""CI smoke benchmark: fail if the cells, decoder or full step regress.
 
 Runs the instrumented decoder benchmark (batched Conv-TransE decode
-under the baseline's precision policy) on the synthetic ICEWS14
-surrogate and compares BOTH measured figures against the checked-in
-budgets in ``benchmarks/decoder_baseline.json``:
+under the baseline's precision policy) plus the recurrent-cell
+micro-benchmark on the synthetic ICEWS14 surrogate and compares every
+measured figure against the checked-in budgets:
 
-* ``decoder_seconds_per_step`` — the Eq. 11-14 decode + time-variability
-  losses, the path this PR batches;
-* ``seconds_per_step`` — the full training step (loss + backward), the
-  headline number that catches a regression anywhere in the step, not
-  just in the decode.
+* ``decoder_seconds_per_step`` (``benchmarks/decoder_baseline.json``) —
+  the Eq. 11-14 decode + time-variability losses;
+* ``seconds_per_step`` (same file) — the full training step (loss +
+  backward), the headline number that catches a regression anywhere in
+  the step, not just in the decode;
+* ``cell_seconds_per_step`` (``benchmarks/cell_baseline.json``) — one
+  pass through every fused recurrent cell an encoder step runs (EAM +
+  RAM GRUs, TIM relation + hyperrelation LSTMs), forward and backward,
+  which catches a silent fall-back to the unfused ~12-node tape.
 
-Either figure exceeding ``baseline * tolerance`` (default 2x, generous
+Any figure exceeding ``baseline * tolerance`` (default 2x, generous
 enough to absorb CI hardware variation while still catching a return to
-the per-snapshot decode loop or an accidental float64 fallback) fails
-the gate.  A missing or unreadable baseline is a hard failure — a
-silently absent budget is the same as no gate at all.
+the per-snapshot decode loop, an accidental float64 fallback, or a lost
+fused kernel) fails the gate.  A missing or unreadable baseline is a
+hard failure — a silently absent budget is the same as no gate at all.
 
 The measurement is also emitted in the :class:`repro.obs.MetricsRegistry`
 JSON format (``--metrics-out``), which CI uploads as a build artifact.
@@ -33,27 +37,30 @@ import json
 import sys
 from pathlib import Path
 
-from repro.bench import benchmark_decoder
+from repro.bench import benchmark_cell, benchmark_decoder
 from repro.obs import MetricsRegistry
 
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "decoder_baseline.json"
+_BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BASELINE_PATH = _BENCH_DIR / "decoder_baseline.json"
+CELL_BASELINE_PATH = _BENCH_DIR / "cell_baseline.json"
 
 REQUIRED_KEYS = ("dataset", "decoder_seconds_per_step", "seconds_per_step")
+CELL_REQUIRED_KEYS = ("dataset", "cell_seconds_per_step")
 
 
-def load_baseline(path: Path) -> dict:
+def load_baseline(path: Path, required=REQUIRED_KEYS) -> dict:
     """The checked-in budgets; any problem reading them fails the gate."""
     try:
         baseline = json.loads(path.read_text())
     except FileNotFoundError:
         raise SystemExit(
-            f"FAIL: baseline file {path} is missing — the decoder/full-step "
-            "budget gate cannot run. Restore it or regenerate with "
-            "--update-baseline against a known-good checkout."
+            f"FAIL: baseline file {path} is missing — the step budget gate "
+            "cannot run. Restore it or regenerate with --update-baseline "
+            "against a known-good checkout."
         )
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"FAIL: baseline file {path} is unreadable: {exc}")
-    missing = [key for key in REQUIRED_KEYS if key not in baseline]
+    missing = [key for key in required if key not in baseline]
     if missing:
         raise SystemExit(f"FAIL: baseline file {path} lacks required keys {missing}")
     return baseline
@@ -79,19 +86,29 @@ def main() -> int:
     args = parser.parse_args()
 
     baseline = load_baseline(BASELINE_PATH)
+    cell_baseline = load_baseline(CELL_BASELINE_PATH, CELL_REQUIRED_KEYS)
     dtype = baseline.get("dtype", "float32")
+    cell_dtype = cell_baseline.get("dtype", "float32")
     registry = MetricsRegistry()
     result = benchmark_decoder(baseline["dataset"], dtype=dtype, registry=registry)
+    cell_result = benchmark_cell(
+        cell_baseline["dataset"], dtype=cell_dtype, registry=registry
+    )
     decoder_ms = result["decoder_seconds_per_step"] * 1000
     full_ms = result["seconds_per_step"] * 1000
+    cell_ms = cell_result["cell_seconds_per_step"] * 1000
     decoder_budget_ms = baseline["decoder_seconds_per_step"] * 1000 * args.tolerance
     full_budget_ms = baseline["seconds_per_step"] * 1000 * args.tolerance
+    cell_budget_ms = cell_baseline["cell_seconds_per_step"] * 1000 * args.tolerance
     registry.gauge(
         "decoder_budget_seconds", help="baseline * tolerance, the decoder threshold"
     ).set(decoder_budget_ms / 1000, dataset=result["dataset"], dtype=dtype)
     registry.gauge(
         "step_budget_seconds", help="baseline * tolerance, the full-step threshold"
     ).set(full_budget_ms / 1000, dataset=result["dataset"], dtype=dtype)
+    registry.gauge(
+        "cell_budget_seconds", help="baseline * tolerance, the cell threshold"
+    ).set(cell_budget_ms / 1000, dataset=cell_result["dataset"], dtype=cell_dtype)
 
     print(f"dataset:            {result['dataset']} ({result['steps']} steps, "
           f"{dtype}, batched={result['batched_decoder']})")
@@ -101,6 +118,12 @@ def main() -> int:
     print(f"full training step: {full_ms:.2f} ms "
           f"(budget {full_budget_ms:.2f} ms = "
           f"{baseline['seconds_per_step'] * 1000:.2f} ms x {args.tolerance:g})")
+    print(f"recurrent cells:    {cell_ms:.2f} ms "
+          f"(budget {cell_budget_ms:.2f} ms = "
+          f"{cell_baseline['cell_seconds_per_step'] * 1000:.2f} ms x "
+          f"{args.tolerance:g}; reference tape "
+          f"{cell_result['reference_seconds_per_step'] * 1000:.2f} ms, "
+          f"{cell_result['speedup']:.2f}x)")
     for name, stats in result["phases"].items():
         print(f"  phase {name:<11} {stats['seconds'] * 1000:8.1f} ms "
               f"over {stats['calls']} calls")
@@ -115,6 +138,13 @@ def main() -> int:
         baseline["dtype"] = result["dtype"]
         BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline updated: {BASELINE_PATH}")
+        cell_baseline["cell_seconds_per_step"] = cell_result["cell_seconds_per_step"]
+        cell_baseline["reference_seconds_per_step"] = cell_result[
+            "reference_seconds_per_step"
+        ]
+        cell_baseline["dtype"] = cell_result["dtype"]
+        CELL_BASELINE_PATH.write_text(json.dumps(cell_baseline, indent=2) + "\n")
+        print(f"baseline updated: {CELL_BASELINE_PATH}")
         return 0
 
     failed = False
@@ -126,9 +156,13 @@ def main() -> int:
         print(f"FAIL: full step {full_ms:.2f} ms exceeds "
               f"budget {full_budget_ms:.2f} ms")
         failed = True
+    if cell_ms > cell_budget_ms:
+        print(f"FAIL: recurrent cells {cell_ms:.2f} ms exceeds "
+              f"budget {cell_budget_ms:.2f} ms")
+        failed = True
     if failed:
         return 1
-    print("OK: decoder and full step within budget")
+    print("OK: cells, decoder and full step within budget")
     return 0
 
 

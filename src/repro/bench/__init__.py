@@ -25,6 +25,7 @@ from repro.bench.runner import (
     DEFAULT_METHODS,
     BenchProfile,
     TrainedMethod,
+    benchmark_cell,
     benchmark_decoder,
     benchmark_encoder,
     benchmark_eval,
@@ -44,6 +45,7 @@ __all__ = [
     "RegressionVerdict",
     "TrainedMethod",
     "append_entry",
+    "benchmark_cell",
     "benchmark_decoder",
     "benchmark_encoder",
     "benchmark_eval",

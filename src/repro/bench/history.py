@@ -42,6 +42,7 @@ KEY_DECODER = "decoder_seconds_per_step"
 KEY_EVAL = "eval_seconds_per_step"
 KEY_SERVE = "serve_mean_seconds"
 KEY_SCALE = "scale_seconds_per_step"
+KEY_CELL = "cell_seconds_per_step"
 KEY_FULL = "seconds_per_step"
 
 #: Component-specific timing key per benchmark name.  Eval entries carry
@@ -55,12 +56,16 @@ KEY_FULL = "seconds_per_step"
 #: Scale entries (large-vocabulary memmap eval) carry ``entities``,
 #: ``scorer`` and ``workers`` fields; like eval, comparisons must
 #: prefilter on them — different strategies are different series.
+#: Cell entries (fused recurrent-cell micro-benchmark) time one pass of
+#: every encoder recurrence at model shapes; ``seconds_per_step`` is the
+#: same figure so the generic full-step summary stays meaningful.
 COMPONENT_KEYS = {
     "encoder": KEY_ENCODER,
     "decoder": KEY_DECODER,
     "eval": KEY_EVAL,
     "serve": KEY_SERVE,
     "scale": KEY_SCALE,
+    "cell": KEY_CELL,
 }
 
 

@@ -282,6 +282,7 @@ def benchmark_encoder(
     dataset_name: str = "ICEWS14",
     warmup: bool = True,
     use_cache: bool = True,
+    warm_cache: bool = False,
     seed: int = 0,
     dtype: str = "float64",
     registry: Optional[MetricsRegistry] = None,
@@ -302,7 +303,10 @@ def benchmark_encoder(
     ``warmup`` runs one untimed epoch first so measured steps see a warm
     :class:`~repro.graph.SnapshotCache` (steady-state training cost);
     ``use_cache=False`` sizes the cache to zero instead, measuring the
-    uncached per-step cost.
+    uncached per-step cost.  ``warm_cache`` prebuilds every snapshot's
+    artifacts via :meth:`SnapshotCache.warm` before anything is timed —
+    much cheaper than a full warmup epoch when only the cache (not e.g.
+    BLAS thread spin-up) needs to be warm.
 
     A :class:`~repro.obs.MetricsRegistry` passed as ``registry`` receives
     the measurement as labeled gauges/counters (the JSON format the CI
@@ -328,6 +332,8 @@ def benchmark_encoder(
         for s in (dataset.train.snapshot(int(t)) for t in dataset.train.timestamps[1:])
         if not s.is_empty
     ]
+    if warm_cache and use_cache:
+        model.snapshot_cache.warm(dataset.train.snapshots())
     if warmup:
         for snapshot in snapshots:
             joint, _, _ = model.loss_on_snapshot(snapshot)
@@ -361,6 +367,7 @@ def benchmark_encoder(
         "phases": timer.summary(),
         "cache": {
             "enabled": use_cache,
+            "warmed": bool(warm_cache and use_cache),
             "entries": len(model.snapshot_cache),
             "hits": model.snapshot_cache.hits,
             "misses": model.snapshot_cache.misses,
@@ -384,6 +391,7 @@ def benchmark_encoder(
 def benchmark_decoder(
     dataset_name: str = "ICEWS14",
     warmup: bool = True,
+    warm_cache: bool = False,
     seed: int = 0,
     dtype: str = "float64",
     batched: bool = True,
@@ -406,7 +414,9 @@ def benchmark_decoder(
 
     ``dtype`` and ``batched`` select the precision policy and the
     batched-vs-loop decode path, so one harness produces every cell of
-    the EXPERIMENTS.md runtime table.
+    the EXPERIMENTS.md runtime table.  ``warm_cache`` prebuilds the
+    snapshot artifacts before anything is timed (see
+    :func:`benchmark_encoder`).
     """
     from repro.nn import losses
 
@@ -425,6 +435,8 @@ def benchmark_decoder(
         for s in (dataset.train.snapshot(int(t)) for t in dataset.train.timestamps[1:])
         if not s.is_empty
     ]
+    if warm_cache:
+        model.snapshot_cache.warm(dataset.train.snapshots())
     if warmup:
         for snapshot in snapshots:
             joint, _, _ = model.loss_on_snapshot(snapshot)
@@ -491,6 +503,131 @@ def benchmark_decoder(
         extra = {"injected_sleep": per_step_sleep} if per_step_sleep else None
         append_entry(history_path, make_entry(result, name="decoder", extra=extra))
     return result
+
+
+def benchmark_cell(
+    dataset_name: str = "ICEWS14",
+    steps: int = 50,
+    warmup_steps: int = 5,
+    seed: int = 0,
+    dtype: str = "float64",
+    registry: Optional[MetricsRegistry] = None,
+    reporter=None,
+    per_step_sleep: float = 0.0,
+    history_path: Optional[str] = None,
+) -> Dict:
+    """Micro-benchmark the encoder recurrences at model shapes.
+
+    One "step" runs every recurrent cell a RETIA encoder step runs —
+    the EAM R-GRU over the ``(N, d)`` entity matrix, the RAM R-GRU over
+    ``(2M, d)`` relations, and the TIM relation/hyperrelation LSTMs over
+    their ``2d``-wide inputs — forward plus backward, isolating the cell
+    cost from message passing and decode.  The loop is timed twice, once
+    through the fused :func:`F.gru_cell`/:func:`F.lstm_cell` kernels and
+    once through the reference ~12-node composition (same cells, same
+    weights — the fused path is bit-identical, so the comparison is pure
+    graph overhead).  ``cell_seconds_per_step`` is the fused figure the
+    CI budget and perf history gate on; ``reference_seconds_per_step``
+    and ``speedup`` ride along for the EXPERIMENTS.md table.
+    """
+    from repro.autograd import DtypePolicy, Tensor
+    from repro.graph import NUM_HYPERRELATIONS
+    from repro.nn import GRUCell, LSTMCell
+
+    dataset = bench_dataset(dataset_name)
+    profile = BENCH_PROFILES[dataset_name]
+    n, m, d = dataset.num_entities, dataset.num_relations, profile.dim
+    hyp = NUM_HYPERRELATIONS
+
+    with DtypePolicy(dtype):
+        rng = np.random.default_rng(seed)
+        cells = [
+            # (cell, input batch shape) per encoder recurrence
+            (GRUCell(d, d, rng=rng), (n, d)),  # EAM entity R-GRU
+            (GRUCell(d, d, rng=rng), (2 * m, d)),  # RAM relation R-GRU
+            (LSTMCell(2 * d, d, rng=rng), (2 * m, 2 * d)),  # TIM relation LSTM
+            (LSTMCell(2 * d, d, rng=rng), (2 * hyp, 2 * d)),  # TIM hyper LSTM
+        ]
+        resolved = np.dtype(dtype)
+        batches = []
+        for cell, (batch, width) in cells:
+            x = Tensor(rng.standard_normal((batch, width)).astype(resolved))
+            h = Tensor(rng.standard_normal((batch, cell.hidden_size)).astype(resolved))
+            c = Tensor(rng.standard_normal((batch, cell.hidden_size)).astype(resolved))
+            batches.append((cell, x, h, c))
+
+        def one_step() -> None:
+            loss = None
+            for cell, x, h, c in batches:
+                if isinstance(cell, LSTMCell):
+                    out, _ = cell(x, (h, c))
+                else:
+                    out = cell(x, h)
+                term = out.sum()
+                loss = term if loss is None else loss + term
+            loss.backward()
+            for cell, _, _, _ in batches:
+                for param in cell.parameters():
+                    param.grad = None
+
+        def timed(fused: bool) -> float:
+            for cell, _, _, _ in batches:
+                cell.fused = fused
+            for _ in range(max(0, warmup_steps)):
+                one_step()
+            start = time.perf_counter()
+            for _ in range(steps):
+                one_step()
+                if per_step_sleep > 0:
+                    time.sleep(per_step_sleep)
+            return (time.perf_counter() - start) / max(1, steps)
+
+        reference_per_step = timed(fused=False)
+        fused_per_step = timed(fused=True)
+
+    result = {
+        "dataset": dataset_name,
+        "steps": steps,
+        "dtype": np.dtype(dtype).name,
+        "cell_seconds_per_step": fused_per_step,
+        "seconds_per_step": fused_per_step,
+        "reference_seconds_per_step": reference_per_step,
+        "speedup": reference_per_step / fused_per_step if fused_per_step else 0.0,
+    }
+    if registry is not None:
+        record_cell_metrics(registry, result)
+    if reporter is not None:
+        scratch = registry if registry is not None else MetricsRegistry()
+        if registry is None:
+            record_cell_metrics(scratch, result)
+        reporter.emit("bench", name="cell", metrics=scratch.to_dict(), result=result)
+    if history_path is not None:
+        from repro.bench.history import append_entry, make_entry
+
+        extra = {
+            "reference_seconds_per_step": reference_per_step,
+            "speedup": result["speedup"],
+        }
+        if per_step_sleep:
+            extra["injected_sleep"] = per_step_sleep
+        append_entry(history_path, make_entry(result, name="cell", extra=extra))
+    return result
+
+
+def record_cell_metrics(registry: MetricsRegistry, result: Dict) -> None:
+    """Write one :func:`benchmark_cell` result into ``registry``."""
+    labels = {"dataset": result["dataset"], "dtype": result["dtype"]}
+    registry.gauge(
+        "cell_seconds_per_step",
+        help="all encoder recurrent cells, forward+backward, fused path",
+    ).set(result["cell_seconds_per_step"], **labels)
+    registry.gauge(
+        "cell_reference_seconds_per_step",
+        help="all encoder recurrent cells, forward+backward, reference path",
+    ).set(result["reference_seconds_per_step"], **labels)
+    registry.counter("bench_steps_total", help="timed cell steps").inc(
+        result["steps"], **labels
+    )
 
 
 def benchmark_eval(

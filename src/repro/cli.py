@@ -287,6 +287,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark a component, append to history, gate on regression."""
     from repro.bench import (
+        benchmark_cell,
         benchmark_decoder,
         benchmark_encoder,
         benchmark_eval,
@@ -339,6 +340,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         elif component == "decoder":
             result = benchmark_decoder(
                 args.dataset,
+                warm_cache=args.warm_cache,
+                seed=args.seed,
+                dtype=args.dtype,
+                per_step_sleep=args.inject_sleep_ms / 1000.0,
+            )
+        elif component == "cell":
+            result = benchmark_cell(
+                args.dataset,
                 seed=args.seed,
                 dtype=args.dtype,
                 per_step_sleep=args.inject_sleep_ms / 1000.0,
@@ -362,6 +371,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         else:
             result = benchmark_encoder(
                 args.dataset,
+                warm_cache=args.warm_cache,
                 seed=args.seed,
                 dtype=args.dtype,
                 per_step_sleep=args.inject_sleep_ms / 1000.0,
@@ -394,6 +404,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             elif component == "scale":
                 for field in ("workers", "cpus", "entities", "scorer", "spill", "peak_rss_mb"):
                     extra[field] = result[field]
+            elif component == "cell":
+                extra["reference_seconds_per_step"] = result["reference_seconds_per_step"]
+                extra["speedup"] = result["speedup"]
             elif component == "serve":
                 extra["chaos"] = result["chaos"]
                 extra["offered_qps"] = result["offered_qps"]
@@ -1034,13 +1047,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_argument(bench)
     bench.add_argument(
         "--component",
-        choices=("encoder", "decoder", "eval", "serve", "scale"),
+        choices=("encoder", "decoder", "eval", "serve", "scale", "cell"),
         default="encoder",
         help="which component to time and gate on (eval: the full "
         "sharded evaluation protocol at --eval-workers; serve: the "
         "loadgen drill against the model server, gated on p99 latency; "
         "scale: large-vocabulary memmap eval through the candidate "
-        "scorer seam — pair with --dataset ICEWS-SCALE)",
+        "scorer seam — pair with --dataset ICEWS-SCALE; cell: the "
+        "fused recurrent-cell micro-benchmark at model shapes)",
+    )
+    bench.add_argument(
+        "--warm-cache",
+        action="store_true",
+        help="prebuild every snapshot's cache artifacts before timing "
+        "(encoder/decoder components)",
     )
     bench.add_argument(
         "--scorer",

@@ -39,12 +39,13 @@ class EntityAggregationModule(Module):
         num_layers: int = 2,
         dropout: float = 0.2,
         rng: Optional[np.random.Generator] = None,
+        fused_cells: bool = True,
     ):
         super().__init__()
         self.gcn = RGCNStack(
             2 * num_relations, dim, num_layers=num_layers, dropout=dropout, rng=rng
         )
-        self.gru = GRUCell(dim, dim, rng=rng)
+        self.gru = GRUCell(dim, dim, rng=rng, fused=fused_cells)
 
     def forward(
         self,

@@ -79,6 +79,13 @@ class RETIAConfig:
     # instead of k sequential decoder calls (bit-identical; see
     # tests/test_decoder_fastpath.py).
     batched_decoder: bool = True
+    # Single-node fused GRU/LSTM steps with pooled gate buffers instead
+    # of the ~12-node per-step composition (bit-identical; see
+    # tests/test_fused_cells.py).  REPRO_FUSED_CELLS=0 forces the
+    # reference path for the whole process (the CI matrix leg).
+    fused_cells: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_FUSED_CELLS", "1") != "0"
+    )
 
     def __post_init__(self):
         if self.relation_mode not in RELATION_MODES:
@@ -92,6 +99,7 @@ class RETIAConfig:
         # Normalise (and validate) to the canonical dtype name so config
         # equality and checkpoint round-trips are exact.
         object.__setattr__(self, "dtype", resolve_dtype(self.dtype).name)
+        object.__setattr__(self, "fused_cells", bool(self.fused_cells))
 
 
 def validate_snapshot_ids(snapshot, num_entities: int, num_relations: int) -> None:
@@ -154,12 +162,21 @@ class RETIA(Module):
             self.eam_relation_embedding = Parameter(np.zeros((2 * m, d)))
             init.xavier_uniform_(self.eam_relation_embedding, rng=rng)
 
-            self.tim = TwinInteractModule(m, d, rng=rng)
+            self.tim = TwinInteractModule(m, d, rng=rng, fused_cells=config.fused_cells)
             self.ram = RelationAggregationModule(
-                d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
+                d,
+                num_layers=config.num_layers,
+                dropout=config.dropout,
+                rng=rng,
+                fused_cells=config.fused_cells,
             )
             self.eam = EntityAggregationModule(
-                m, d, num_layers=config.num_layers, dropout=config.dropout, rng=rng
+                m,
+                d,
+                num_layers=config.num_layers,
+                dropout=config.dropout,
+                rng=rng,
+                fused_cells=config.fused_cells,
             )
             self.entity_decoder = ConvTransE(
                 d, config.num_kernels, config.kernel_width, config.dropout, rng=rng
@@ -214,7 +231,7 @@ class RETIA(Module):
 
     def record_snapshot(self, snapshot: Snapshot) -> None:
         """Append newly revealed facts (no parameter update)."""
-        self.snapshot_cache.invalidate_time(snapshot.time)
+        self.snapshot_cache.invalidate_time(snapshot.time, keep=snapshot)
         self._history[snapshot.time] = snapshot
         self._invalidate()
 

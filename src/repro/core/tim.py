@@ -36,12 +36,18 @@ class TwinInteractModule(Module):
         Embedding dimensionality ``d``; the LSTMs map ``2d -> d``.
     """
 
-    def __init__(self, num_relations: int, dim: int, rng: Optional[np.random.Generator] = None):
+    def __init__(
+        self,
+        num_relations: int,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        fused_cells: bool = True,
+    ):
         super().__init__()
         self.num_relations = num_relations
         self.dim = dim
-        self.lstm = LSTMCell(2 * dim, dim, rng=rng)
-        self.hyper_lstm = LSTMCell(2 * dim, dim, rng=rng)
+        self.lstm = LSTMCell(2 * dim, dim, rng=rng, fused=fused_cells)
+        self.hyper_lstm = LSTMCell(2 * dim, dim, rng=rng, fused=fused_cells)
 
     # ------------------------------------------------------------------
     # Eq. 7: common association constraints via mean pooling

@@ -291,6 +291,17 @@ class Trainer:
         # Every timestamp with at least one preceding timestamp is a
         # training batch (paper: "each timestamp as a batch").
         target_times = [int(t) for t in train.timestamps[1:]]
+        # Warm the per-snapshot preprocessing cache before the first
+        # timed step so hypergraph construction and edge sorting never
+        # show up as a cold-start spike inside epoch 1.
+        cache = getattr(model, "snapshot_cache", None)
+        if cache is not None and cache.max_entries:
+            cache.warm(train.snapshots())
+            if valid is not None:
+                # Validation history reuses these every epoch.
+                cache.warm(valid.snapshots())
+            if self.probes is not None and self.probes.registry is not None:
+                cache.publish(self.probes.registry)
 
         state = self._resolve_resume(resume)
         if self.reporter is not None:

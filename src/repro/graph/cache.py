@@ -167,15 +167,56 @@ class SnapshotCache:
         """The memoized Algorithm 1 hypergraph for ``snapshot``."""
         return self.artifacts(snapshot).hyper
 
-    def invalidate_time(self, ts: int) -> int:
+    def warm(self, snapshots) -> int:
+        """Build artifacts for every snapshot up front (cold-start warmup).
+
+        Trainers and the model server call this before their first timed
+        step so per-snapshot preprocessing never lands inside a measured
+        window.  Returns how many snapshots had to be built (i.e. were
+        not already cached); a second warm over the same history is a
+        no-op beyond the hash lookups.
+        """
+        built = 0
+        for snapshot in snapshots:
+            before = self.misses
+            self.artifacts(snapshot)
+            if self.misses > before:
+                built += 1
+        return built
+
+    def publish(self, registry) -> None:
+        """Export hit/miss/size counters to a ``MetricsRegistry``.
+
+        Gauges (not counters) so repeated publishes reflect the cache's
+        cumulative totals without double counting.
+        """
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._entries)
+        registry.gauge(
+            "snapshot_cache_hits", help="Cumulative snapshot cache hits."
+        ).set(float(hits))
+        registry.gauge(
+            "snapshot_cache_misses", help="Cumulative snapshot cache misses."
+        ).set(float(misses))
+        registry.gauge(
+            "snapshot_cache_entries", help="Snapshots currently cached."
+        ).set(float(size))
+
+    def invalidate_time(self, ts: int, keep: "Snapshot" = None) -> int:
         """Drop every entry recorded for timestamp ``ts``.
 
         Called when a snapshot is (re-)recorded so a replaced timestamp
-        cannot serve stale structure.  Returns the number of entries
-        dropped.
+        cannot serve stale structure.  When ``keep`` is the snapshot
+        being recorded, an entry whose content key matches it survives —
+        re-recording identical facts (the common warm-cache case) keeps
+        the prebuilt artifacts instead of forcing a rebuild.  Returns
+        the number of entries dropped.
         """
+        keep_key = self._key(keep) if keep is not None else None
         with self._lock:
-            stale = [key for key in self._entries if key[0] == ts]
+            stale = [
+                key for key in self._entries if key[0] == ts and key != keep_key
+            ]
             for key in stale:
                 del self._entries[key]
             return len(stale)

@@ -21,6 +21,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.autograd.dtype import default_dtype
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -30,12 +32,18 @@ class GRUCell(Module):
 
     ``h' = (1 - z) * n + z * h`` with reset gate ``r``, update gate ``z``
     and candidate ``n = tanh(W_in x + r * (W_hn h))``.
+
+    By default the step runs through the fused :func:`F.gru_cell` kernel
+    — one autograd node, pooled gate buffers, bit-identical values and
+    gradients (DESIGN.md §11).  Pass ``fused=False`` (or set the
+    attribute) to run the original ~12-node composition instead.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng=None):
+    def __init__(self, input_size: int, hidden_size: int, rng=None, fused: bool = True):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         self.weight_ih = Parameter(np.zeros((3 * hidden_size, input_size)))
         self.weight_hh = Parameter(np.zeros((3 * hidden_size, hidden_size)))
         self.bias_ih = Parameter(np.zeros(3 * hidden_size))
@@ -45,6 +53,10 @@ class GRUCell(Module):
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         """One GRU step: returns the next hidden state."""
+        if self.fused:
+            return F.gru_cell(
+                x, h, self.weight_ih, self.weight_hh, self.bias_ih, self.bias_hh
+            )
         gates_x = x @ self.weight_ih.T + self.bias_ih
         gates_h = h @ self.weight_hh.T + self.bias_hh
         hs = self.hidden_size
@@ -69,10 +81,11 @@ class LSTMCell(Module):
     #: (the probe layer's gate-collapse signal).
     GATE_SATURATION_TAU = 0.05
 
-    def __init__(self, input_size: int, hidden_size: int, rng=None):
+    def __init__(self, input_size: int, hidden_size: int, rng=None, fused: bool = True):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         self.weight_ih = Parameter(np.zeros((4 * hidden_size, input_size)))
         self.weight_hh = Parameter(np.zeros((4 * hidden_size, hidden_size)))
         self.bias_ih = Parameter(np.zeros(4 * hidden_size))
@@ -87,13 +100,24 @@ class LSTMCell(Module):
         # saturated entries per sigmoid gate into ``_gate_stats``.
         object.__setattr__(self, "collect_gate_stats", False)
         object.__setattr__(self, "_gate_stats", None)
+        object.__setattr__(self, "_state_cache", {})
 
     def init_state(self, batch: int) -> Tuple[Tensor, Tensor]:
-        """Fresh zero (h, c) state for ``batch`` rows."""
-        return (
-            Tensor(np.zeros((batch, self.hidden_size))),
-            Tensor(np.zeros((batch, self.hidden_size))),
-        )
+        """Zero (h, c) state for ``batch`` rows.
+
+        The zero tensors never require grad and are never mutated, so
+        the pair is cached per ``(batch, dtype)`` — every TIM window
+        step used to allocate two fresh ``(2M, d)`` arrays here.
+        """
+        key = (batch, default_dtype().name)
+        state = self._state_cache.get(key)
+        if state is None:
+            state = (
+                Tensor(np.zeros((batch, self.hidden_size))),
+                Tensor(np.zeros((batch, self.hidden_size))),
+            )
+            self._state_cache[key] = state
+        return state
 
     def forward(
         self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
@@ -102,6 +126,13 @@ class LSTMCell(Module):
         if state is None:
             state = self.init_state(x.shape[0])
         h, c = state
+        if self.fused:
+            hook = self._record_gate_stats if self.collect_gate_stats else None
+            return F.lstm_cell(
+                x, h, c,
+                self.weight_ih, self.weight_hh, self.bias_ih, self.bias_hh,
+                gate_hook=hook,
+            )
         gates = x @ self.weight_ih.T + self.bias_ih + h @ self.weight_hh.T + self.bias_hh
         hs = self.hidden_size
         i = gates[:, :hs].sigmoid()

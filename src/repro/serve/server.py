@@ -406,6 +406,7 @@ class ModelServer:
             config=asdict(self.config),
             ts=int(ts),
         )
+        self._warm_snapshot_cache(ts)
         with self._model_lock:
             snapshot = capture(self.model, ts, self._next_version(), clock=self.clock)
         with self._report_lock:
@@ -760,6 +761,21 @@ class ModelServer:
                 self._refresh_target = None
             self._refresh_once(target)
 
+    def _warm_snapshot_cache(self, ts: int) -> None:
+        """Prebuild per-snapshot artifacts for the capture at ``ts``.
+
+        Runs *outside* the model lock so hypergraph construction and
+        edge sorting for a cold history window never extend the lock
+        hold (and never land inside the first timed request).  The
+        cache's cumulative hit/miss counters are published so the
+        telemetry plane can see cold-start spikes.
+        """
+        cache = getattr(self.model, "snapshot_cache", None)
+        if cache is None or not cache.max_entries:
+            return
+        cache.warm(self.model.history_before(ts))
+        cache.publish(self.registry)
+
     def _refresh_once(self, ts: int) -> bool:
         """One supervised refresh cycle: retry, back off, or degrade."""
         cfg = self.config
@@ -770,6 +786,7 @@ class ModelServer:
             try:
                 if self.fault_injector is not None:
                     self.fault_injector.on_refresh_attempt(attempt_index)
+                self._warm_snapshot_cache(ts)
                 with self._model_lock:
                     snapshot = capture(
                         self.model, ts, self._next_version(), clock=self.clock
